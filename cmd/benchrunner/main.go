@@ -1,0 +1,67 @@
+// Command benchrunner regenerates the paper's evaluation artifacts:
+// Table 1 and Figures 13-17 (see DESIGN.md for the per-experiment index
+// and EXPERIMENTS.md for paper-vs-measured results).
+//
+// Usage:
+//
+//	benchrunner [-experiment table1|fig13|fig14|fig15|fig16|fig17|all] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "table1, fig13, fig14, fig15, fig16, fig17, ablation, compile or all")
+	quick := flag.Bool("quick", false, "use scaled-down datasets")
+	validate := flag.Bool("validate", true, "run the 2-worker real-execution soundness check")
+	flag.Parse()
+
+	h := bench.New(os.Stdout, *quick)
+	fmt.Printf("calibration: %.3g s/unit, fork-join %.0f units, dispatch %.1f units\n\n",
+		h.Cal.SecondsPerUnit, h.Cal.ForkJoinUnits, h.Cal.DispatchUnits)
+
+	if *validate {
+		worst := h.ValidateKernels()
+		fmt.Printf("kernel validation (serial vs 2-worker parallel): worst relative diff %.3g\n", worst)
+		if worst > 1e-9 {
+			fmt.Fprintln(os.Stderr, "benchrunner: VALIDATION FAILED")
+			os.Exit(1)
+		}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			h.Table1()
+		case "fig13":
+			h.Fig13()
+		case "fig14":
+			h.Fig14()
+		case "fig15":
+			h.Fig15()
+		case "fig16":
+			h.Fig16()
+		case "fig17":
+			h.Fig17()
+		case "ablation":
+			h.Ablation()
+		case "compile":
+			h.CompileTime()
+		default:
+			fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "compile"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

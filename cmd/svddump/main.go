@@ -1,0 +1,85 @@
+// Command svddump prints the Phase-1 Symbolic Value Dictionaries and the
+// Phase-2 aggregates for every eligible loop of a mini-C source file —
+// the internal view of the analysis (what the paper's Figure 5 and the
+// Phase-2 printouts of Section 3 show).
+//
+// Usage:
+//
+//	svddump [-level base|new] [-func name] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/cminus"
+	"repro/internal/phase2"
+)
+
+func main() {
+	level := flag.String("level", "new", "analysis level: base or new")
+	fnName := flag.String("func", "", "restrict to one function")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: svddump [flags] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := cminus.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	lvl := phase2.LevelNew
+	if *level == "base" {
+		lvl = phase2.LevelBase
+	}
+	for _, fn := range prog.Funcs {
+		if fn.Body == nil || (*fnName != "" && fn.Name != *fnName) {
+			continue
+		}
+		fa := phase2.AnalyzeFunc(fn, lvl, nil)
+		fmt.Printf("== function %s ==\n", fn.Name)
+		labels := make([]string, 0, len(fa.Loops))
+		for lbl := range fa.Loops {
+			labels = append(labels, lbl)
+		}
+		sort.Strings(labels)
+		for _, lbl := range labels {
+			agg := fa.Loops[lbl]
+			p1 := fa.Phase1[lbl]
+			fmt.Printf("\nloop %s:\n", lbl)
+			fmt.Printf("  Phase-1 SVD: %s\n", p1.Final)
+			vars := make([]string, 0, len(agg.Aggregated))
+			for v := range agg.Aggregated {
+				vars = append(vars, v)
+			}
+			sort.Strings(vars)
+			fmt.Printf("  Phase-2 aggregates:\n")
+			for _, v := range vars {
+				fmt.Printf("    %s = %s\n", v, agg.Aggregated[v])
+			}
+			if len(agg.SSR) > 0 {
+				names := make([]string, 0, len(agg.SSR))
+				for v := range agg.SSR {
+					names = append(names, v)
+				}
+				sort.Strings(names)
+				fmt.Printf("  SSR variables: %v\n", names)
+			}
+			for _, p := range agg.Props {
+				fmt.Printf("  property: %s\n", p)
+			}
+		}
+		for lbl, reason := range fa.Failures {
+			fmt.Printf("\nloop %s: analysis failed: %s\n", lbl, reason)
+		}
+		fmt.Printf("\nfinal properties:\n%s\n", fa.Props)
+	}
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/phase2"
+)
+
+// AblationRow reports, for one benchmark, the parallelism level found by
+// the full new algorithm and by variants with one capability disabled.
+type AblationRow struct {
+	Benchmark string
+	Full      corpus.ParallelismLevel
+	// NoIntermittent disables LEMMA 1.
+	NoIntermittent corpus.ParallelismLevel
+	// NoMultiDim disables LEMMA 2.
+	NoMultiDim corpus.ParallelismLevel
+	// NoPrefixSum disables the Figure 2(b) recurrence.
+	NoPrefixSum corpus.ParallelismLevel
+}
+
+// Ablation runs the capability ablation over the whole corpus: which of
+// the analysis' concepts is load-bearing for which benchmark. This is the
+// design-choice ablation DESIGN.md calls for: each novel concept is
+// disabled in isolation and the plan recomputed.
+func (h *Harness) Ablation() []AblationRow {
+	var rows []AblationRow
+	level := phase2.LevelNew
+	for _, b := range corpus.All() {
+		row := AblationRow{
+			Benchmark:      b.Name,
+			Full:           corpus.Achieved(corpus.PlanForOpts(b, level, phase2.Opts{}), b.KernelFunc),
+			NoIntermittent: corpus.Achieved(corpus.PlanForOpts(b, level, phase2.Opts{DisableIntermittent: true}), b.KernelFunc),
+			NoMultiDim:     corpus.Achieved(corpus.PlanForOpts(b, level, phase2.Opts{DisableMultiDim: true}), b.KernelFunc),
+			NoPrefixSum:    corpus.Achieved(corpus.PlanForOpts(b, level, phase2.Opts{DisablePrefixSum: true}), b.KernelFunc),
+		}
+		rows = append(rows, row)
+	}
+	h.printf("\nAblation: parallelism found with one capability disabled (NewAlgo base)\n")
+	h.printf("%-22s %8s %16s %12s %13s\n", "Benchmark", "full", "-intermittent", "-multidim", "-prefixsum")
+	for _, r := range rows {
+		h.printf("%-22s %8s %16s %12s %13s\n", r.Benchmark, r.Full, r.NoIntermittent, r.NoMultiDim, r.NoPrefixSum)
+	}
+	return rows
+}

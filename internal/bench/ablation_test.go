@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// TestAblation verifies each novel concept is load-bearing for exactly
+// the benchmarks the paper attributes to it:
+//   - intermittent monotonicity (LEMMA 1) unlocks AMGmk and SDDMM;
+//   - multi-dimensional monotonicity (LEMMA 2) unlocks UA(transf);
+//   - the prefix-sum recurrence (Figure 2(b), Base) unlocks CHOLMOD;
+//
+// and disabling one concept never affects the others' benchmarks.
+func TestAblation(t *testing.T) {
+	h := quickHarness()
+	rows := h.Ablation()
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+	}
+
+	for _, name := range []string{"AMGmk", "SDDMM"} {
+		r := byName[name]
+		if r.Full != corpus.Outer {
+			t.Errorf("%s full should be outer", name)
+		}
+		if r.NoIntermittent == corpus.Outer {
+			t.Errorf("%s: disabling intermittent must lose outer parallelism", name)
+		}
+		if r.NoMultiDim != corpus.Outer || r.NoPrefixSum != corpus.Outer {
+			t.Errorf("%s: unrelated ablations must not matter: %+v", name, r)
+		}
+	}
+
+	ua := byName["UA(transf)"]
+	if ua.Full != corpus.Outer || ua.NoMultiDim == corpus.Outer {
+		t.Errorf("UA: multi-dim is load-bearing: %+v", ua)
+	}
+	if ua.NoIntermittent != corpus.Outer || ua.NoPrefixSum != corpus.Outer {
+		t.Errorf("UA: unrelated ablations must not matter: %+v", ua)
+	}
+
+	ch := byName["CHOLMOD-Supernodal"]
+	if ch.Full != corpus.Outer || ch.NoPrefixSum == corpus.Outer {
+		t.Errorf("CHOLMOD: prefix-sum is load-bearing: %+v", ch)
+	}
+
+	// Classical-only benchmarks are untouched by every ablation.
+	for _, name := range []string{"CG", "heat-3d", "syrk", "MG"} {
+		r := byName[name]
+		if r.Full != corpus.Outer || r.NoIntermittent != corpus.Outer ||
+			r.NoMultiDim != corpus.Outer || r.NoPrefixSum != corpus.Outer {
+			t.Errorf("%s must be unaffected by ablations: %+v", name, r)
+		}
+	}
+}

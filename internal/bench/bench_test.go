@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/phase2"
+)
+
+func quickHarness() *Harness {
+	return New(io.Discard, true)
+}
+
+func TestCalibrationSane(t *testing.T) {
+	cal := Calibrate(true)
+	if cal.SecondsPerUnit <= 0 || cal.SecondsPerUnit > 1e-6 {
+		t.Errorf("seconds/unit = %g (should be around a nanosecond)", cal.SecondsPerUnit)
+	}
+	if cal.ForkJoinUnits <= 0 {
+		t.Errorf("fork-join units = %g", cal.ForkJoinUnits)
+	}
+	if cal.DispatchUnits <= 0 {
+		t.Errorf("dispatch units = %g", cal.DispatchUnits)
+	}
+	if cal.ForkJoinUnits < cal.DispatchUnits {
+		t.Errorf("fork-join (%g) should cost more than one dispatch (%g)",
+			cal.ForkJoinUnits, cal.DispatchUnits)
+	}
+}
+
+// TestFig13Shape: with-vs-without improvements are large (>2x) at every
+// core count for AMGmk and grow with cores — the paper's anomaly.
+func TestFig13Shape(t *testing.T) {
+	h := quickHarness()
+	data := h.Fig13()
+	for _, row := range data["AMGmk"] {
+		for i, v := range row.Values {
+			if v < 2 {
+				t.Errorf("AMGmk %s @%d cores: improvement %.2f, want > 2", row.Dataset, Cores[i], v)
+			}
+		}
+		if row.Values[2] <= row.Values[0] {
+			t.Errorf("AMGmk %s: improvement should grow with cores: %v", row.Dataset, row.Values)
+		}
+	}
+	// SDDMM improvements exceed 1 (without-case loses to with-case).
+	for _, row := range data["SDDMM"] {
+		for _, v := range row.Values {
+			if v <= 1 {
+				t.Errorf("SDDMM %s: improvement %.2f, want > 1", row.Dataset, v)
+			}
+		}
+	}
+}
+
+// TestFig14Shape: speedups over serial are >1 and grow with cores.
+func TestFig14Shape(t *testing.T) {
+	h := quickHarness()
+	data := h.Fig14()
+	for name, rows := range data {
+		for _, row := range rows {
+			if len(row.Values) != len(Cores) {
+				t.Fatalf("%s: series length", name)
+			}
+			for i, v := range row.Values {
+				if v <= 1 {
+					t.Errorf("%s %s @%d cores: speedup %.2f, want > 1", name, row.Dataset, Cores[i], v)
+				}
+				if v > float64(Cores[i]) {
+					t.Errorf("%s %s @%d cores: speedup %.2f exceeds core count", name, row.Dataset, Cores[i], v)
+				}
+			}
+			if row.Values[2] <= row.Values[0] {
+				t.Errorf("%s %s: speedup should grow with cores: %v", name, row.Dataset, row.Values)
+			}
+		}
+	}
+}
+
+// TestFig15Shape: efficiency is bounded by 100% and declines with core
+// count.
+func TestFig15Shape(t *testing.T) {
+	h := quickHarness()
+	data := h.Fig15()
+	for name, rows := range data {
+		for _, row := range rows {
+			for i, v := range row.Values {
+				if v <= 0 || v > 100.5 {
+					t.Errorf("%s %s @%d cores: efficiency %.1f%%", name, row.Dataset, Cores[i], v)
+				}
+			}
+			if row.Values[2] > row.Values[0]+1e-9 {
+				t.Errorf("%s %s: efficiency should not grow with cores: %v", name, row.Dataset, row.Values)
+			}
+		}
+	}
+}
+
+// TestFig16Shape: dynamic beats static on the skewed matrices at 16
+// cores; static wins (or ties) on the balanced af_shell1.
+func TestFig16Shape(t *testing.T) {
+	h := quickHarness()
+	rows := h.Fig16()
+	byKey := map[string]Fig16Row{}
+	for _, r := range rows {
+		if r.Cores == 16 {
+			byKey[r.Dataset] = r
+		}
+	}
+	for _, skewed := range []string{"gsm_106857", "dielFilterV2clx", "inline_1"} {
+		r, ok := byKey[skewed]
+		if !ok {
+			t.Fatalf("missing dataset %s", skewed)
+		}
+		if r.Dynamic <= r.Static {
+			t.Errorf("%s @16: dynamic (%.2f) should beat static (%.2f)", skewed, r.Dynamic, r.Static)
+		}
+	}
+	r := byKey["af_shell1"]
+	if r.Static < r.Dynamic {
+		t.Errorf("af_shell1 @16: static (%.2f) should not lose to dynamic (%.2f)", r.Static, r.Dynamic)
+	}
+}
+
+// TestFig17Shape reproduces the headline claims: the new algorithm
+// improves 10/12 benchmarks (>1.15x), classical 6, base 7; and the new
+// arm is at least as good as base, which is at least as good as classical
+// everywhere.
+func TestFig17Shape(t *testing.T) {
+	h := quickHarness()
+	rows := h.Fig17()
+	if len(rows) != 12 {
+		t.Fatalf("want 12 rows")
+	}
+	counts := map[string]int{}
+	const improved = 1.15
+	for _, r := range rows {
+		if r.Cetus > improved {
+			counts["cetus"]++
+		}
+		if r.Base > improved {
+			counts["base"]++
+		}
+		if r.New > improved {
+			counts["new"]++
+		}
+		if r.New+1e-9 < r.Base || r.Base+1e-9 < r.Cetus {
+			t.Errorf("%s: arms should be monotone: %.2f / %.2f / %.2f", r.Benchmark, r.Cetus, r.Base, r.New)
+		}
+	}
+	if counts["cetus"] != 6 {
+		t.Errorf("classical improves %d, want 6", counts["cetus"])
+	}
+	if counts["base"] != 7 {
+		t.Errorf("base improves %d, want 7", counts["base"])
+	}
+	if counts["new"] != 10 {
+		t.Errorf("new improves %d, want 10", counts["new"])
+	}
+	// IS and Incomplete-Cholesky stay at 1x for every arm.
+	for _, r := range rows {
+		if r.Benchmark == "IS" || r.Benchmark == "Incomplete-Cholesky" {
+			if r.New > 1.01 || r.Cetus > 1.01 {
+				t.Errorf("%s should not improve: %.2f/%.2f/%.2f", r.Benchmark, r.Cetus, r.Base, r.New)
+			}
+		}
+	}
+}
+
+// TestTable1: rows exist for all benchmarks and the model time tracks the
+// measured time within an order of magnitude (calibration sanity).
+func TestTable1(t *testing.T) {
+	var sb strings.Builder
+	h := New(&sb, true)
+	rows := h.Table1()
+	if len(rows) < 12 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.SerialSeconds <= 0 || r.MeasuredSeconds <= 0 {
+			t.Errorf("%s/%s: nonpositive times", r.Benchmark, r.Dataset)
+		}
+		ratio := r.SerialSeconds / r.MeasuredSeconds
+		if ratio < 0.02 || ratio > 50 {
+			t.Errorf("%s/%s: model %.5fs vs measured %.5fs (ratio %.2f)",
+				r.Benchmark, r.Dataset, r.SerialSeconds, r.MeasuredSeconds, ratio)
+		}
+	}
+	if !strings.Contains(sb.String(), "MATRIX5") {
+		t.Error("output should list the AMG matrices")
+	}
+}
+
+// TestValidateKernels: real 2-worker parallel execution of every kernel
+// matches serial.
+func TestValidateKernels(t *testing.T) {
+	h := quickHarness()
+	if worst := h.ValidateKernels(); worst > 1e-9 {
+		t.Errorf("worst checksum divergence %g", worst)
+	}
+}
+
+// TestAchievedReadFromPlans: the strategies fed to the simulator come
+// from the parallelizer, matching the corpus expectations.
+func TestAchievedReadFromPlans(t *testing.T) {
+	for _, name := range []string{"AMGmk", "SDDMM", "UA(transf)"} {
+		if got := withLevel(name); got.String() != "outer" {
+			t.Errorf("%s with-level = %s", name, got)
+		}
+	}
+	if got := withoutLevel("UA(transf)"); got.String() != "none" {
+		t.Errorf("UA without-level = %s", got)
+	}
+	b := quickHarness()
+	_ = b
+	_ = phase2.LevelNew
+}

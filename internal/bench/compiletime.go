@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/phase2"
+)
+
+// CompileTimeRow reports the analysis cost for one benchmark program.
+type CompileTimeRow struct {
+	Benchmark string
+	// Micros per full parallelizer run (parse excluded) per arm.
+	Classical, Base, New float64
+	// LoopsAnalyzed counts the loops in the program.
+	LoopsAnalyzed int
+}
+
+// CompileTime measures the compile-time cost of the three analysis arms
+// over the corpus (supplementary to the paper, which reports only run-time
+// results; the paper's technique is advertised as avoiding run-time
+// overheads, so its compile-time cost is the relevant budget).
+func (h *Harness) CompileTime() []CompileTimeRow {
+	reps := 20
+	if h.Quick {
+		reps = 5
+	}
+	var rows []CompileTimeRow
+	for _, b := range corpus.All() {
+		row := CompileTimeRow{Benchmark: b.Name}
+		measure := func(level phase2.Level) float64 {
+			t0 := time.Now()
+			for r := 0; r < reps; r++ {
+				corpus.PlanFor(b, level)
+			}
+			return float64(time.Since(t0).Microseconds()) / float64(reps)
+		}
+		row.Classical = measure(phase2.LevelClassical)
+		row.Base = measure(phase2.LevelBase)
+		row.New = measure(phase2.LevelNew)
+		plan := corpus.PlanFor(b, phase2.LevelNew)
+		for _, fp := range plan.Funcs {
+			row.LoopsAnalyzed += len(fp.Loops)
+		}
+		rows = append(rows, row)
+	}
+	h.printf("\nCompile-time cost of the analysis (µs per whole-program run)\n")
+	h.printf("%-22s %10s %12s %12s\n", "Benchmark", "Cetus", "+BaseAlgo", "+NewAlgo")
+	for _, r := range rows {
+		h.printf("%-22s %9.0fµ %11.0fµ %11.0fµ\n", r.Benchmark, r.Classical, r.Base, r.New)
+	}
+	return rows
+}

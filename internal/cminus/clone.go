@@ -1,0 +1,120 @@
+package cminus
+
+// CloneExpr returns a deep copy of e.
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Ident:
+		c := *x
+		return &c
+	case *IntLit:
+		c := *x
+		return &c
+	case *FloatLit:
+		c := *x
+		return &c
+	case *StringLit:
+		c := *x
+		return &c
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, X: CloneExpr(x.X), Y: CloneExpr(x.Y), P: x.P}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, X: CloneExpr(x.X), Postfix: x.Postfix, P: x.P}
+	case *CondExpr:
+		return &CondExpr{C: CloneExpr(x.C), T: CloneExpr(x.T), F: CloneExpr(x.F), P: x.P}
+	case *IndexExpr:
+		return &IndexExpr{Arr: CloneExpr(x.Arr), Index: CloneExpr(x.Index), P: x.P}
+	case *CallExpr:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = CloneExpr(a)
+		}
+		return &CallExpr{Fun: x.Fun, Args: args, P: x.P}
+	case *CastExpr:
+		return &CastExpr{Type: x.Type, X: CloneExpr(x.X), P: x.P}
+	}
+	return e
+}
+
+// CloneStmt returns a deep copy of s.
+func CloneStmt(s Stmt) Stmt {
+	if s == nil {
+		return nil
+	}
+	switch x := s.(type) {
+	case *AssignStmt:
+		return &AssignStmt{LHS: CloneExpr(x.LHS), Op: x.Op, RHS: CloneExpr(x.RHS), P: x.P}
+	case *ExprStmt:
+		return &ExprStmt{X: CloneExpr(x.X), P: x.P}
+	case *DeclStmt:
+		items := make([]DeclItem, len(x.Items))
+		for i, it := range x.Items {
+			dims := make([]Expr, len(it.Dims))
+			for j, d := range it.Dims {
+				dims[j] = CloneExpr(d)
+			}
+			items[i] = DeclItem{Name: it.Name, Dims: dims, PtrDeep: it.PtrDeep, Init: CloneExpr(it.Init)}
+		}
+		return &DeclStmt{Type: x.Type, Items: items, P: x.P}
+	case *IfStmt:
+		return &IfStmt{Cond: CloneExpr(x.Cond), Then: CloneBlock(x.Then), Else: CloneStmt(x.Else), P: x.P}
+	case *ForStmt:
+		return &ForStmt{
+			Init:    CloneStmt(x.Init),
+			Cond:    CloneExpr(x.Cond),
+			Post:    CloneStmt(x.Post),
+			Body:    CloneBlock(x.Body),
+			Pragmas: append([]string(nil), x.Pragmas...),
+			P:       x.P,
+			Label:   x.Label,
+		}
+	case *WhileStmt:
+		return &WhileStmt{Cond: CloneExpr(x.Cond), Body: CloneBlock(x.Body), P: x.P}
+	case *Block:
+		return CloneBlock(x)
+	case *ReturnStmt:
+		return &ReturnStmt{X: CloneExpr(x.X), P: x.P}
+	case *BreakStmt:
+		c := *x
+		return &c
+	case *ContinueStmt:
+		c := *x
+		return &c
+	}
+	return s
+}
+
+// CloneBlock returns a deep copy of blk.
+func CloneBlock(blk *Block) *Block {
+	if blk == nil {
+		return nil
+	}
+	out := &Block{P: blk.P, Stmts: make([]Stmt, len(blk.Stmts))}
+	for i, s := range blk.Stmts {
+		out.Stmts[i] = CloneStmt(s)
+	}
+	return out
+}
+
+// CloneProgram returns a deep copy of p.
+func CloneProgram(p *Program) *Program {
+	out := &Program{}
+	for _, g := range p.Globals {
+		out.Globals = append(out.Globals, CloneStmt(g).(*DeclStmt))
+	}
+	for _, f := range p.Funcs {
+		nf := &FuncDecl{RetType: f.RetType, Name: f.Name, P: f.P}
+		for _, prm := range f.Params {
+			dims := make([]Expr, len(prm.Dims))
+			for i, d := range prm.Dims {
+				dims[i] = CloneExpr(d)
+			}
+			nf.Params = append(nf.Params, Param{Type: prm.Type, Name: prm.Name, PtrDeep: prm.PtrDeep, Dims: dims})
+		}
+		nf.Body = CloneBlock(f.Body)
+		out.Funcs = append(out.Funcs, nf)
+	}
+	return out
+}

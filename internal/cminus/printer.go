@@ -1,0 +1,270 @@
+package cminus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a program back to C source. Loops carry their pragma
+// annotations, so printing a parallelized program yields OpenMP-annotated
+// source.
+func Print(p *Program) string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		printStmt(&b, g, 0)
+	}
+	for i, f := range p.Funcs {
+		if i > 0 || len(p.Globals) > 0 {
+			b.WriteString("\n")
+		}
+		printFunc(&b, f)
+	}
+	return b.String()
+}
+
+// PrintStmt renders a single statement (used in diagnostics and tests).
+func PrintStmt(s Stmt) string {
+	var b strings.Builder
+	printStmt(&b, s, 0)
+	return b.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e Expr) string {
+	var b strings.Builder
+	printExpr(&b, e, 0)
+	return b.String()
+}
+
+func printFunc(b *strings.Builder, f *FuncDecl) {
+	fmt.Fprintf(b, "%s %s(", f.RetType, f.Name)
+	for i, prm := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(prm.Type)
+		b.WriteString(" ")
+		b.WriteString(strings.Repeat("*", prm.PtrDeep))
+		b.WriteString(prm.Name)
+		for _, d := range prm.Dims {
+			b.WriteString("[")
+			if d != nil {
+				printExpr(b, d, 0)
+			}
+			b.WriteString("]")
+		}
+	}
+	b.WriteString(")")
+	if f.Body == nil {
+		b.WriteString(";\n")
+		return
+	}
+	b.WriteString(" ")
+	printBlock(b, f.Body, 0)
+	b.WriteString("\n")
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func printBlock(b *strings.Builder, blk *Block, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		printStmt(b, s, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}")
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	switch x := s.(type) {
+	case *Block:
+		indent(b, depth)
+		printBlock(b, x, depth)
+		b.WriteString("\n")
+	case *DeclStmt:
+		indent(b, depth)
+		b.WriteString(x.Type)
+		b.WriteString(" ")
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(strings.Repeat("*", it.PtrDeep))
+			b.WriteString(it.Name)
+			for _, d := range it.Dims {
+				b.WriteString("[")
+				printExpr(b, d, 0)
+				b.WriteString("]")
+			}
+			if it.Init != nil {
+				b.WriteString(" = ")
+				printExpr(b, it.Init, 0)
+			}
+		}
+		b.WriteString(";\n")
+	case *AssignStmt:
+		indent(b, depth)
+		printExpr(b, x.LHS, 0)
+		if x.Op != "" {
+			b.WriteString(" " + x.Op + "= ")
+		} else {
+			b.WriteString(" = ")
+		}
+		printExpr(b, x.RHS, 0)
+		b.WriteString(";\n")
+	case *ExprStmt:
+		indent(b, depth)
+		printExpr(b, x.X, 0)
+		b.WriteString(";\n")
+	case *IfStmt:
+		indent(b, depth)
+		b.WriteString("if (")
+		printExpr(b, x.Cond, 0)
+		b.WriteString(") ")
+		printBlock(b, x.Then, depth)
+		if x.Else != nil {
+			b.WriteString(" else ")
+			switch e := x.Else.(type) {
+			case *Block:
+				printBlock(b, e, depth)
+			case *IfStmt:
+				var inner strings.Builder
+				printStmt(&inner, e, depth)
+				b.WriteString(strings.TrimLeft(inner.String(), " "))
+				return
+			}
+		}
+		b.WriteString("\n")
+	case *ForStmt:
+		for _, pr := range x.Pragmas {
+			indent(b, depth)
+			b.WriteString(pr)
+			b.WriteString("\n")
+		}
+		indent(b, depth)
+		b.WriteString("for (")
+		if x.Init != nil {
+			printStmtInline(b, x.Init)
+		}
+		b.WriteString("; ")
+		if x.Cond != nil {
+			printExpr(b, x.Cond, 0)
+		}
+		b.WriteString("; ")
+		if x.Post != nil {
+			printStmtInline(b, x.Post)
+		}
+		b.WriteString(") ")
+		printBlock(b, x.Body, depth)
+		b.WriteString("\n")
+	case *WhileStmt:
+		indent(b, depth)
+		b.WriteString("while (")
+		printExpr(b, x.Cond, 0)
+		b.WriteString(") ")
+		printBlock(b, x.Body, depth)
+		b.WriteString("\n")
+	case *ReturnStmt:
+		indent(b, depth)
+		b.WriteString("return")
+		if x.X != nil {
+			b.WriteString(" ")
+			printExpr(b, x.X, 0)
+		}
+		b.WriteString(";\n")
+	case *BreakStmt:
+		indent(b, depth)
+		b.WriteString("break;\n")
+	case *ContinueStmt:
+		indent(b, depth)
+		b.WriteString("continue;\n")
+	}
+}
+
+// printStmtInline prints a statement without indentation or trailing
+// ";\n" — used inside for-clauses.
+func printStmtInline(b *strings.Builder, s Stmt) {
+	var tmp strings.Builder
+	printStmt(&tmp, s, 0)
+	out := strings.TrimSuffix(strings.TrimSpace(tmp.String()), ";")
+	b.WriteString(out)
+}
+
+// Operator precedence for printing with minimal parentheses.
+func exprPrec(e Expr) int {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		return binPrec[x.Op]
+	case *CondExpr:
+		return 0
+	case *UnaryExpr:
+		if x.Postfix {
+			return 12
+		}
+		return 11
+	case *CastExpr:
+		return 11
+	}
+	return 12
+}
+
+func printExpr(b *strings.Builder, e Expr, parentPrec int) {
+	prec := exprPrec(e)
+	needParens := prec < parentPrec
+	if needParens {
+		b.WriteString("(")
+	}
+	switch x := e.(type) {
+	case *Ident:
+		b.WriteString(x.Name)
+	case *IntLit:
+		fmt.Fprintf(b, "%d", x.Val)
+	case *FloatLit:
+		b.WriteString(x.Text)
+	case *StringLit:
+		fmt.Fprintf(b, "%q", x.Text)
+	case *BinaryExpr:
+		printExpr(b, x.X, prec)
+		b.WriteString(" " + x.Op + " ")
+		printExpr(b, x.Y, prec+1)
+	case *UnaryExpr:
+		if x.Postfix {
+			printExpr(b, x.X, prec)
+			b.WriteString(x.Op)
+		} else {
+			b.WriteString(x.Op)
+			printExpr(b, x.X, prec)
+		}
+	case *CondExpr:
+		printExpr(b, x.C, 1)
+		b.WriteString(" ? ")
+		printExpr(b, x.T, 1)
+		b.WriteString(" : ")
+		printExpr(b, x.F, 0)
+	case *IndexExpr:
+		printExpr(b, x.Arr, 12)
+		b.WriteString("[")
+		printExpr(b, x.Index, 0)
+		b.WriteString("]")
+	case *CallExpr:
+		b.WriteString(x.Fun)
+		b.WriteString("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, a, 0)
+		}
+		b.WriteString(")")
+	case *CastExpr:
+		b.WriteString("(" + x.Type + ")")
+		printExpr(b, x.X, prec)
+	}
+	if needParens {
+		b.WriteString(")")
+	}
+}

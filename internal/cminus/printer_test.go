@@ -1,0 +1,195 @@
+package cminus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintAllConstructs(t *testing.T) {
+	src := `
+int N = 8;
+double table[4][4];
+void helper(int x);
+int fib(int n) {
+    if (n < 2) {
+        return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+}
+void f(int n, double *a, int b[][7]) {
+    int i = 0;
+    double x;
+    while (i < n) {
+        i++;
+        if (i == 3) {
+            continue;
+        } else if (i == 5) {
+            break;
+        }
+    }
+    for (i = 0; i < n; i++) {
+        x = i > 2 ? a[i] * 1.5 : -a[i];
+        a[i] = x + (double)(b[0][i % 7]);
+        a[i] -= 2.0;
+        a[i] *= 3.0;
+        a[i] /= 4.0;
+        b[1][i % 7] %= 5;
+    }
+}
+`
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1 := Print(p1)
+	p2, err := Parse(out1)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out1)
+	}
+	out2 := Print(p2)
+	if out1 != out2 {
+		t.Errorf("print not stable:\n%s\n---\n%s", out1, out2)
+	}
+	for _, want := range []string{"while (", "continue;", "break;", "return fib(n - 1) + fib(n - 2);", "? ", " : ", "(double)"} {
+		if !strings.Contains(out1, want) {
+			t.Errorf("printed source missing %q:\n%s", want, out1)
+		}
+	}
+}
+
+func TestPrintPrecedenceMinimalParens(t *testing.T) {
+	cases := []struct{ in, out string }{
+		{"x = a * (b + c);", "x = a * (b + c)"},
+		{"x = a * b + c;", "x = a * b + c"},
+		{"x = -(a + b);", "x = -(a + b)"},
+		{"x = (a < b) == (c < d);", "x = a < b == c < d"}, // relational binds tighter than ==
+		{"x = a - (b - c);", "x = a - (b - c)"},
+	}
+	for _, c := range cases {
+		src := "void f(int a, int b, int c, int d) { int x; " + c.in + " }"
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.in, err)
+		}
+		got := Print(prog)
+		if !strings.Contains(got, c.out) {
+			t.Errorf("printing %q: want %q in\n%s", c.in, c.out, got)
+		}
+		// And semantics-preserving: reparse equals reprint.
+		p2, err := Parse(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Print(p2) != got {
+			t.Errorf("unstable print for %q", c.in)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	prog := MustParse(`void f(int n, int *a) { int i; for (i = 0; i < n; i++) { a[i] = i; } }`)
+	cp := CloneProgram(prog)
+	// Mutate the clone; the original must not change.
+	var loop *ForStmt
+	WalkStmts(cp.Funcs[0].Body, func(s Stmt) bool {
+		if f, ok := s.(*ForStmt); ok {
+			loop = f
+		}
+		return true
+	})
+	loop.Pragmas = append(loop.Pragmas, "#pragma omp parallel for")
+	loop.Body.Stmts = nil
+	origText := Print(prog)
+	if strings.Contains(origText, "pragma") {
+		t.Error("clone mutation leaked into original")
+	}
+	var origLoop *ForStmt
+	WalkStmts(prog.Funcs[0].Body, func(s Stmt) bool {
+		if f, ok := s.(*ForStmt); ok {
+			origLoop = f
+		}
+		return true
+	})
+	if len(origLoop.Body.Stmts) == 0 {
+		t.Error("clone body shared with original")
+	}
+}
+
+func TestWalkExprsEarlyStop(t *testing.T) {
+	prog := MustParse(`void f(int a, int b) { int x; x = a + b * (a - b); }`)
+	as := prog.Funcs[0].Body.Stmts[1].(*AssignStmt)
+	count := 0
+	WalkExprs(as.RHS, func(Expr) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop visited %d", count)
+	}
+	all := 0
+	WalkExprs(as.RHS, func(Expr) bool { all++; return true })
+	if all < 6 {
+		t.Errorf("full walk visited %d", all)
+	}
+}
+
+func TestArrayBaseNonIdent(t *testing.T) {
+	prog := MustParse(`void f(int *a, int *b, int i) { a[b[i]] = (a[i] + 1); }`)
+	as := prog.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	name, idx, ok := ArrayBase(as.LHS)
+	if !ok || name != "a" || len(idx) != 1 {
+		t.Fatal("nested subscript base")
+	}
+	if _, _, ok := ArrayBase(&IntLit{Val: 3}); ok {
+		t.Error("literal has no array base")
+	}
+}
+
+func TestPragmaOnlyLexing(t *testing.T) {
+	toks, err := Tokenize("#include <stdio.h>\n#pragma omp barrier\n#define X 1\nint x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pragmas, keywords int
+	for _, tk := range toks {
+		switch tk.Kind {
+		case TokPragma:
+			pragmas++
+		case TokKeyword:
+			keywords++
+		}
+	}
+	if pragmas != 1 {
+		t.Errorf("pragmas: %d", pragmas)
+	}
+	if keywords != 1 {
+		t.Errorf("keywords: %d (include/define lines must be skipped)", keywords)
+	}
+}
+
+func TestStmtExprsVisitsAll(t *testing.T) {
+	prog := MustParse(`
+void f(int n, int *a) {
+    int i;
+    for (i = n - 1; i < n + 1; i++) {
+        if (a[i] > 0) {
+            a[i] = a[i] - 1;
+        }
+    }
+    while (a[0] > 0) {
+        a[0] = a[0] - 1;
+    }
+    return;
+}
+`)
+	found := map[string]bool{}
+	WalkStmts(prog.Funcs[0].Body, func(s Stmt) bool {
+		StmtExprs(s, func(e Expr) bool {
+			if id, ok := e.(*Ident); ok {
+				found[id.Name] = true
+			}
+			return true
+		})
+		return true
+	})
+	if !found["n"] || !found["a"] || !found["i"] {
+		t.Errorf("found: %v", found)
+	}
+}

@@ -1,0 +1,59 @@
+// Package cminus implements a frontend for the C subset in which the
+// benchmark kernels analyzed by the subscripted-subscript analysis are
+// written: functions, scalar and (multi-dimensional) array declarations,
+// for/while loops, if/else, assignments (including compound assignment and
+// ++/--), integer and floating-point arithmetic, and function calls.
+//
+// The frontend exists because the analysis is defined over C source (the
+// paper implements it inside the Cetus C compiler); this package plays the
+// role of Cetus' parser and IR.
+package cminus
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokPunct   // operators and punctuation
+	TokKeyword // reserved words
+	TokPragma  // a whole #pragma line
+)
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Position
+}
+
+// Position is a line/column source position (1-based).
+type Position struct {
+	Line int
+	Col  int
+}
+
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+var keywords = map[string]bool{
+	"int": true, "long": true, "double": true, "float": true, "void": true,
+	"char": true, "unsigned": true, "const": true, "static": true,
+	"for": true, "while": true, "do": true, "if": true, "else": true,
+	"return": true, "break": true, "continue": true, "struct": true,
+	"sizeof": true,
+}
+
+// IsTypeKeyword reports whether the keyword starts a declaration.
+func IsTypeKeyword(s string) bool {
+	switch s {
+	case "int", "long", "double", "float", "void", "char", "unsigned", "const", "static":
+		return true
+	}
+	return false
+}

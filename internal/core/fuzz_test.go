@@ -1,0 +1,33 @@
+package core
+
+import "testing"
+
+// FuzzAnalyze: the full pipeline (parse → normalize → Phase 1 → Phase 2 →
+// dependence test → plan) must never panic, and the annotated output of
+// an accepted program must reparse and re-analyze cleanly.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		`void f(int n, int *a) { int i, m; m = 0; for (i = 0; i < n; i++) { if (a[i] > 0) a[m++] = i; } }`,
+		`void f(int n, int *p) { int i; p[0] = 0; for (i = 1; i <= n; i++) { p[i] = p[i-1] + 3; } }`,
+		`void f(int n, int g[][5]) { int i, j; for (i = 0; i < n; i++) { for (j = 0; j < 5; j++) { g[i][j] = 5*i + j; } } }`,
+		`void f(int n, double *y, int *ind) { int j; for (j = 0; j < n; j++) { y[ind[j]] = y[ind[j]] + 1.0; } }`,
+		`void f(int n, int *a) { int i, s; s = 0; for (i = 0; i < n; i++) { s += a[i]; } a[0] = s; }`,
+		`void f(int n) { int i; for (i = n; i > 0; i--) { } }`,
+		`void f(int n, int *a) { int i; for (i = 0; i < n; i++) { while (a[i] > 0) { a[i] = a[i] / 2; } } }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Analyze(src, Options{Level: New})
+		if err != nil {
+			return
+		}
+		annotated := res.AnnotatedSource()
+		if _, err := Analyze(annotated, Options{Level: New}); err != nil {
+			t.Fatalf("annotated source fails to re-analyze: %v\ninput: %q\nannotated:\n%s",
+				err, src, annotated)
+		}
+		_ = res.Summary()
+	})
+}

@@ -1,0 +1,526 @@
+// Package corpus holds the analysis-critical kernels of the twelve
+// benchmarks of Table 1 as mini-C programs: the loop(s) that fill each
+// subscript array and the to-be-parallelized kernel loop, mirroring the
+// inline-expanded sources the paper evaluates. Each benchmark records the
+// loop level each analysis arm is expected to parallelize, which is the
+// structure behind Figure 17.
+package corpus
+
+import (
+	"repro/internal/cminus"
+	"repro/internal/parallelize"
+	"repro/internal/phase2"
+	"repro/internal/ranges"
+	"repro/internal/symbolic"
+)
+
+// ParallelismLevel describes where parallelism is found in the kernel
+// loop nest.
+type ParallelismLevel int
+
+// Parallelism outcomes.
+const (
+	// None: no loop of the kernel nest parallelizes.
+	None ParallelismLevel = iota
+	// Inner: only an inner loop parallelizes (fork-join per outer
+	// iteration).
+	Inner
+	// Outer: the outermost kernel loop parallelizes.
+	Outer
+)
+
+func (p ParallelismLevel) String() string {
+	switch p {
+	case Inner:
+		return "inner"
+	case Outer:
+		return "outer"
+	}
+	return "none"
+}
+
+// Benchmark is one Table-1 entry.
+type Benchmark struct {
+	// Name as printed in the paper's Table 1.
+	Name string
+	// Suite is the source benchmark suite.
+	Suite string
+	// Source is the mini-C program (fill loops + kernel).
+	Source string
+	// KernelFunc is the function containing the to-be-parallelized nest.
+	KernelFunc string
+	// AssumePositive lists symbols assumed >= 1 for the analysis (sizes).
+	AssumePositive []string
+	// Expected maps each analysis arm to the parallelism it finds in the
+	// kernel nest (the Figure 17 structure).
+	Expected map[phase2.Level]ParallelismLevel
+	// Subscripted marks benchmarks whose kernel has subscripted
+	// subscripts.
+	Subscripted bool
+	// Description says what the kernel computes.
+	Description string
+}
+
+// PlanFor runs the parallelizer on a benchmark at the given analysis
+// level with the benchmark's assumptions applied.
+func PlanFor(b *Benchmark, level phase2.Level) *parallelize.Plan {
+	return PlanForOpts(b, level, phase2.Opts{})
+}
+
+// PlanForOpts is PlanFor with ablation toggles.
+func PlanForOpts(b *Benchmark, level phase2.Level, ablate phase2.Opts) *parallelize.Plan {
+	prog := cminus.MustParse(b.Source)
+	dict := ranges.New()
+	for _, sym := range b.AssumePositive {
+		dict.Set(sym, symbolic.One, nil)
+	}
+	return parallelize.Run(prog, level, &parallelize.Options{Assume: dict, Ablate: ablate})
+}
+
+// Achieved computes the parallelism level a plan finds in the benchmark's
+// kernel function: Outer when a depth-1 loop is chosen, Inner when only
+// deeper loops are chosen, None otherwise.
+func Achieved(plan *parallelize.Plan, kernelFunc string) ParallelismLevel {
+	fp := plan.Funcs[kernelFunc]
+	if fp == nil {
+		return None
+	}
+	level := None
+	for _, lp := range fp.Loops {
+		if !lp.Chosen {
+			continue
+		}
+		if lp.Depth == 1 {
+			return Outer
+		}
+		level = Inner
+	}
+	return level
+}
+
+// All returns the twelve benchmarks in Table 1 order.
+func All() []*Benchmark {
+	return []*Benchmark{
+		AMGmk, CHOLMOD, SDDMM, UATransf, CG, Heat3D,
+		FDTD2D, Gramschmidt, Syrk, MG, IS, IncompleteCholesky,
+	}
+}
+
+// ByName returns the benchmark with the given name, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range All() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// AMGmk: sparse matrix-vector multiply over the nonzero rows identified by
+// A_rownnz (paper Figures 8 and 9).
+var AMGmk = &Benchmark{
+	Name:        "AMGmk",
+	Suite:       "CORAL",
+	KernelFunc:  "amg_matvec",
+	Subscripted: true,
+	Description: "algebraic multigrid sparse matvec over nonzero rows (y[A_rownnz[i]])",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: Inner,
+		phase2.LevelBase:      Inner,
+		phase2.LevelNew:       Outer,
+	},
+	Source: `
+void amg_fill(int num_rows, int *A_i, int *A_rownnz, int *out_count) {
+    int irownnz = 0;
+    int i, adiag;
+    for (i = 0; i < num_rows; i++) {
+        adiag = A_i[i+1] - A_i[i];
+        if (adiag > 0)
+            A_rownnz[irownnz++] = i;
+    }
+    out_count[0] = irownnz;
+}
+void amg_matvec(int num_rownnz, int irownnz_max, int *A_rownnz, int *A_i, int *A_j,
+                double *A_data, double *x_data, double *y_data) {
+    int i, jj, m;
+    double tempx;
+    for (i = 0; i < num_rownnz; i++) {
+        m = A_rownnz[i];
+        tempx = y_data[m];
+        for (jj = A_i[m]; jj < A_i[m+1]; jj++)
+            tempx += A_data[jj] * x_data[A_j[jj]];
+        y_data[m] = tempx;
+    }
+}
+`,
+}
+
+// CHOLMOD: supernodal block scaling; the supernode extent array Lpx is a
+// prefix sum (Figure 2(b) recurrence), which the Base algorithm handles.
+var CHOLMOD = &Benchmark{
+	Name:           "CHOLMOD-Supernodal",
+	Suite:          "SuiteSparse",
+	KernelFunc:     "chol_scale",
+	Subscripted:    true,
+	AssumePositive: []string{"bs"},
+	Description:    "supernodal Cholesky block scaling through prefix-sum extents Lpx",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: Inner,
+		phase2.LevelBase:      Outer,
+		phase2.LevelNew:       Outer,
+	},
+	Source: `
+void chol_fill(int nsuper, int bs, int *Lpx) {
+    int s;
+    Lpx[0] = 0;
+    for (s = 1; s <= nsuper; s++) {
+        Lpx[s] = Lpx[s-1] + bs;
+    }
+}
+void chol_scale(int nsuper, int *Lpx, double *Lx, double *diag) {
+    int s, p;
+    for (s = 0; s < nsuper; s++) {
+        for (p = Lpx[s]; p < Lpx[s+1]; p++) {
+            Lx[p] = Lx[p] / diag[s];
+        }
+    }
+}
+`,
+}
+
+// SDDMM: sampled dense-dense matrix multiplication (paper Figures 10/11).
+var SDDMM = &Benchmark{
+	Name:        "SDDMM",
+	Suite:       "Nisa et al.",
+	KernelFunc:  "sddmm",
+	Subscripted: true,
+	Description: "sampled dense-dense matmul over CSC columns (p[ind], ind in col_ptr windows)",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: Inner,
+		phase2.LevelBase:      Inner,
+		phase2.LevelNew:       Outer,
+	},
+	Source: `
+void sddmm_fill(int nonzeros, int *col_val, int *col_ptr, int *out_holder) {
+    int holder = 1;
+    int i, r;
+    col_ptr[0] = 0;
+    r = col_val[0];
+    for (i = 0; i < nonzeros; i++) {
+        if (col_val[i] != r) {
+            col_ptr[holder++] = i;
+            r = col_val[i];
+        }
+    }
+    out_holder[0] = holder;
+}
+void sddmm(int n_cols, int k, int holder_max, int *col_ptr, int *row_ind,
+           double *W, double *H, double *nnz_val, double *p) {
+    int r, ind, t;
+    double sm;
+    for (r = 0; r < n_cols; r++) {
+        for (ind = col_ptr[r]; ind < col_ptr[r+1]; ind++) {
+            sm = 0.0;
+            for (t = 0; t < k; t++) {
+                sm += W[r*k + t] * H[row_ind[ind]*k + t];
+            }
+            p[ind] = sm * nnz_val[ind];
+        }
+    }
+}
+`,
+}
+
+// UATransf: the transf kernel of the NPB UA benchmark (paper Figure 12).
+var UATransf = &Benchmark{
+	Name:        "UA(transf)",
+	Suite:       "NPB3.3",
+	KernelFunc:  "ua_transf",
+	Subscripted: true,
+	Description: "unstructured adaptive mortar-point scatter through 4-D idel",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: None,
+		phase2.LevelBase:      None,
+		phase2.LevelNew:       Outer,
+	},
+	Source: `
+void ua_fill(int LELT, int idel[][6][5][5]) {
+    int iel, j, i, ntemp;
+    for (iel = 0; iel < LELT; iel++) {
+        ntemp = 125*iel;
+        for (j = 0; j < 5; j++) {
+            for (i = 0; i < 5; i++) {
+                idel[iel][0][j][i] = ntemp + i*5 + j*25 + 4;
+                idel[iel][1][j][i] = ntemp + i*5 + j*25;
+                idel[iel][2][j][i] = ntemp + i + j*25 + 20;
+                idel[iel][3][j][i] = ntemp + i + j*25;
+                idel[iel][4][j][i] = ntemp + i + j*5 + 100;
+                idel[iel][5][j][i] = ntemp + i + j*5;
+            }
+        }
+    }
+}
+void ua_transf(int nelt, int idel[][6][5][5], double *tx, double *tmort) {
+    int iel, iface, j, i;
+    for (iel = 0; iel < nelt; iel++) {
+        for (iface = 0; iface < 6; iface++) {
+            for (j = 0; j < 5; j++) {
+                for (i = 0; i < 5; i++) {
+                    tx[idel[iel][iface][j][i]] = tx[idel[iel][iface][j][i]]
+                        + tmort[iel*150 + iface*25 + j*5 + i];
+                }
+            }
+        }
+    }
+}
+`,
+}
+
+// CG: NPB conjugate-gradient sparse matvec; the gather through colidx does
+// not block the dense write w[j], so classical analysis suffices.
+var CG = &Benchmark{
+	Name:        "CG",
+	Suite:       "NPB3.3",
+	KernelFunc:  "cg_matvec",
+	Description: "CG sparse matvec w = A*p in CSR",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: Outer,
+		phase2.LevelBase:      Outer,
+		phase2.LevelNew:       Outer,
+	},
+	Source: `
+void cg_matvec(int n, int *rowstr, int *colidx, double *a, double *p, double *w) {
+    int j, k;
+    double sum;
+    for (j = 0; j < n; j++) {
+        sum = 0.0;
+        for (k = rowstr[j]; k < rowstr[j+1]; k++) {
+            sum += a[k] * p[colidx[k]];
+        }
+        w[j] = sum;
+    }
+}
+`,
+}
+
+// Heat3D: PolyBench heat-3d Jacobi sweep (one time step).
+var Heat3D = &Benchmark{
+	Name:        "heat-3d",
+	Suite:       "PolyBench-4.2",
+	KernelFunc:  "heat3d_step",
+	Description: "3-D heat equation Jacobi step B = stencil(A)",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: Outer,
+		phase2.LevelBase:      Outer,
+		phase2.LevelNew:       Outer,
+	},
+	Source: `
+void heat3d_step(int n, double A[][120][120], double B[][120][120]) {
+    int i, j, k;
+    for (i = 1; i < n-1; i++) {
+        for (j = 1; j < n-1; j++) {
+            for (k = 1; k < n-1; k++) {
+                B[i][j][k] = 0.125 * (A[i+1][j][k] - 2.0*A[i][j][k] + A[i-1][j][k])
+                           + 0.125 * (A[i][j+1][k] - 2.0*A[i][j][k] + A[i][j-1][k])
+                           + 0.125 * (A[i][j][k+1] - 2.0*A[i][j][k] + A[i][j][k-1])
+                           + A[i][j][k];
+            }
+        }
+    }
+}
+`,
+}
+
+// FDTD2D: PolyBench fdtd-2d; the time loop carries dependences, the inner
+// spatial loops parallelize classically.
+var FDTD2D = &Benchmark{
+	Name:        "fdtd-2d",
+	Suite:       "PolyBench-4.2",
+	KernelFunc:  "fdtd2d",
+	Description: "2-D finite-difference time-domain kernel",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: Inner,
+		phase2.LevelBase:      Inner,
+		phase2.LevelNew:       Inner,
+	},
+	Source: `
+void fdtd2d(int tmax, int nx, int ny, double ex[][1000], double ey[][1000],
+            double hz[][1000], double *fict) {
+    int t, i, j;
+    for (t = 0; t < tmax; t++) {
+        for (j = 0; j < ny; j++) {
+            ey[0][j] = fict[t];
+        }
+        for (i = 1; i < nx; i++) {
+            for (j = 0; j < ny; j++) {
+                ey[i][j] = ey[i][j] - 0.5*(hz[i][j] - hz[i-1][j]);
+            }
+        }
+        for (i = 0; i < nx; i++) {
+            for (j = 1; j < ny; j++) {
+                ex[i][j] = ex[i][j] - 0.5*(hz[i][j] - hz[i][j-1]);
+            }
+        }
+        for (i = 0; i < nx - 1; i++) {
+            for (j = 0; j < ny - 1; j++) {
+                hz[i][j] = hz[i][j] - 0.7*(ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]);
+            }
+        }
+    }
+}
+`,
+}
+
+// Gramschmidt: PolyBench modified Gram-Schmidt; the k loop is sequential
+// but the update loops parallelize classically.
+var Gramschmidt = &Benchmark{
+	Name:        "gramschmidt",
+	Suite:       "PolyBench-4.2",
+	KernelFunc:  "gramschmidt",
+	Description: "modified Gram-Schmidt QR factorization",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: Inner,
+		phase2.LevelBase:      Inner,
+		phase2.LevelNew:       Inner,
+	},
+	Source: `
+void gramschmidt(int m, int n, double A[][600], double R[][600], double Q[][600]) {
+    int i, j, k;
+    double nrm;
+    for (k = 0; k < n; k++) {
+        nrm = 0.0;
+        for (i = 0; i < m; i++) {
+            nrm += A[i][k] * A[i][k];
+        }
+        R[k][k] = sqrt(nrm);
+        for (i = 0; i < m; i++) {
+            Q[i][k] = A[i][k] / R[k][k];
+        }
+        for (j = k + 1; j < n; j++) {
+            R[k][j] = 0.0;
+            for (i = 0; i < m; i++) {
+                R[k][j] += Q[i][k] * A[i][j];
+            }
+            for (i = 0; i < m; i++) {
+                A[i][j] = A[i][j] - Q[i][k] * R[k][j];
+            }
+        }
+    }
+}
+`,
+}
+
+// Syrk: PolyBench symmetric rank-k update; the i loop parallelizes
+// classically.
+var Syrk = &Benchmark{
+	Name:        "syrk",
+	Suite:       "PolyBench-4.2",
+	KernelFunc:  "syrk",
+	Description: "symmetric rank-k update C = alpha*A*A' + beta*C",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: Outer,
+		phase2.LevelBase:      Outer,
+		phase2.LevelNew:       Outer,
+	},
+	Source: `
+void syrk(int n, int m, double alpha, double beta, double C[][1200], double A[][1000]) {
+    int i, j, k;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j <= i; j++) {
+            C[i][j] = C[i][j] * beta;
+        }
+        for (k = 0; k < m; k++) {
+            for (j = 0; j <= i; j++) {
+                C[i][j] = C[i][j] + alpha * A[i][k] * A[j][k];
+            }
+        }
+    }
+}
+`,
+}
+
+// MG: NPB multigrid residual stencil; the outer loop parallelizes
+// classically.
+var MG = &Benchmark{
+	Name:        "MG",
+	Suite:       "NPB3.3/SPEC OMP2012",
+	KernelFunc:  "mg_resid",
+	Description: "multigrid residual r = v - A*u (27-point stencil core)",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: Outer,
+		phase2.LevelBase:      Outer,
+		phase2.LevelNew:       Outer,
+	},
+	Source: `
+void mg_resid(int n, double u[][130][130], double v[][130][130], double r[][130][130]) {
+    int i1, i2, i3;
+    double u1, u2;
+    for (i3 = 1; i3 < n-1; i3++) {
+        for (i2 = 1; i2 < n-1; i2++) {
+            for (i1 = 1; i1 < n-1; i1++) {
+                u1 = u[i3][i2-1][i1] + u[i3][i2+1][i1] + u[i3-1][i2][i1] + u[i3+1][i2][i1];
+                u2 = u[i3-1][i2-1][i1] + u[i3-1][i2+1][i1] + u[i3+1][i2-1][i1] + u[i3+1][i2+1][i1];
+                r[i3][i2][i1] = v[i3][i2][i1] - 0.8*u[i3][i2][i1] - 0.2*(u[i3][i2][i1-1] + u[i3][i2][i1+1] + u1) - 0.1*u2;
+            }
+        }
+    }
+}
+`,
+}
+
+// IS: NPB integer sort histogram; the colliding increments defeat every
+// compile-time technique.
+var IS = &Benchmark{
+	Name:        "IS",
+	Suite:       "NPB3.3",
+	KernelFunc:  "is_rank",
+	Subscripted: true,
+	Description: "integer sort key histogram (colliding key_buff updates)",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: None,
+		phase2.LevelBase:      None,
+		phase2.LevelNew:       None,
+	},
+	Source: `
+void is_rank(int n, int *key_array, int *key_buff) {
+    int i;
+    for (i = 0; i < n; i++) {
+        key_buff[key_array[i]] = key_buff[key_array[i]] + 1;
+    }
+}
+`,
+}
+
+// IncompleteCholesky: the row structure comes from input data, so no
+// compile-time property exists (the paper's second negative case).
+var IncompleteCholesky = &Benchmark{
+	Name:        "Incomplete-Cholesky",
+	Suite:       "Sparselib++",
+	KernelFunc:  "ic_sweep",
+	Subscripted: true,
+	Description: "incomplete Cholesky column sweep over input-dependent structure",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: None,
+		phase2.LevelBase:      None,
+		phase2.LevelNew:       None,
+	},
+	Source: `
+void ic_fill(int n, int *rowlen, int *ia) {
+    int i;
+    ia[0] = 0;
+    for (i = 1; i <= n; i++) {
+        ia[i] = ia[i-1] + rowlen[i-1];
+    }
+}
+void ic_sweep(int n, int *ia, int *ja, double *val, double *diag) {
+    int i, p, col;
+    for (i = 0; i < n; i++) {
+        for (p = ia[i]; p < ia[i+1]; p++) {
+            col = ja[p];
+            val[p] = val[p] / sqrt(diag[col]);
+            diag[col] = diag[col] + val[p]*val[p];
+        }
+    }
+}
+`,
+}

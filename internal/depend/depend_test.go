@@ -1,0 +1,439 @@
+package depend
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cminus"
+	"repro/internal/normalize"
+	"repro/internal/phase2"
+	"repro/internal/property"
+	"repro/internal/ranges"
+	"repro/internal/symbolic"
+)
+
+// analyzeLoop parses src, runs the array analysis on fillFunc at the given
+// level, then dependence-tests the depth-th loop (1 = outermost, 2 = first
+// loop nested inside it, ...) of kernFunc.
+func analyzeLoop(t *testing.T, src, fillFunc, kernFunc string, depth int, level phase2.Level) *Decision {
+	t.Helper()
+	prog := cminus.MustParse(src)
+	props := property.NewDB()
+	dict := ranges.New()
+	if fillFunc != "" && level >= phase2.LevelBase {
+		fa := phase2.AnalyzeFunc(prog.Func(fillFunc), level, nil)
+		for _, arr := range fa.Props.Arrays() {
+			for _, p := range fa.Props.Lookup(arr) {
+				props.Add(p)
+			}
+		}
+	}
+	fn := prog.Func(kernFunc)
+	if fn == nil {
+		t.Fatalf("no function %s", kernFunc)
+	}
+	norm := normalize.Func(fn)
+	loop := loopAtDepth(norm.Func.Body, depth)
+	if loop == nil {
+		t.Fatalf("no loop at depth %d in %s", depth, kernFunc)
+	}
+	tester := NewTester(props, dict)
+	return tester.Analyze(loop, norm.Loops[loop.Label])
+}
+
+// loopAtDepth returns the first loop chain's loop at the given nesting
+// depth (1-based).
+func loopAtDepth(blk *cminus.Block, depth int) *cminus.ForStmt {
+	var first *cminus.ForStmt
+	cminus.WalkStmts(blk, func(s cminus.Stmt) bool {
+		if fs, ok := s.(*cminus.ForStmt); ok && first == nil {
+			first = fs
+			return false
+		}
+		return true
+	})
+	if first == nil {
+		return nil
+	}
+	if depth <= 1 {
+		return first
+	}
+	return loopAtDepth(first.Body, depth-1)
+}
+
+const amgSrc = `
+void fill(int num_rows, int *A_i, int *A_rownnz) {
+    int irownnz = 0;
+    int i, adiag;
+    for (i = 0; i < num_rows; i++) {
+        adiag = A_i[i+1] - A_i[i];
+        if (adiag > 0)
+            A_rownnz[irownnz++] = i;
+    }
+}
+void kernel(int num_rownnz, int *A_rownnz, int *A_i, int *A_j,
+            double *A_data, double *x_data, double *y_data) {
+    int i, jj, m;
+    double tempx;
+    for (i = 0; i < num_rownnz; i++) {
+        m = A_rownnz[i];
+        tempx = y_data[m];
+        for (jj = A_i[m]; jj < A_i[m+1]; jj++)
+            tempx += A_data[jj] * x_data[A_j[jj]];
+        y_data[m] = tempx;
+    }
+}
+`
+
+// TestAMGKernel: the outer loop of Figure 8 parallelizes only with the new
+// algorithm, guarded by the paper's run-time check
+// (-1+num_rownnz <= irownnz_max).
+func TestAMGKernel(t *testing.T) {
+	// Classical: blocked by y_data[m].
+	d := analyzeLoop(t, amgSrc, "fill", "kernel", 1, phase2.LevelClassical)
+	if d.Parallel {
+		t.Fatal("classical must not parallelize the outer AMG loop")
+	}
+	if !strings.Contains(d.Reason, "y_data") {
+		t.Errorf("reason should mention y_data: %s", d.Reason)
+	}
+	// Base: still blocked (intermittent pattern unsupported).
+	d = analyzeLoop(t, amgSrc, "fill", "kernel", 1, phase2.LevelBase)
+	if d.Parallel {
+		t.Fatal("base algorithm must not parallelize the outer AMG loop")
+	}
+	// New: parallel with run-time check.
+	d = analyzeLoop(t, amgSrc, "fill", "kernel", 1, phase2.LevelNew)
+	if !d.Parallel {
+		t.Fatalf("new algorithm should parallelize: %s", d.Reason)
+	}
+	if got := d.CheckString(); got != "-1+num_rownnz<=irownnz_max" {
+		t.Errorf("runtime check = %q", got)
+	}
+	// m and tempx privatized; jj private as an inner index.
+	joined := strings.Join(d.Privates, ",")
+	for _, want := range []string{"m", "tempx", "jj"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing private %q in %v", want, d.Privates)
+		}
+	}
+	// The inner reduction loop parallelizes classically (the paper's
+	// explanation for the Figure 13 anomaly).
+	d = analyzeLoop(t, amgSrc, "", "kernel", 2, phase2.LevelClassical)
+	if !d.Parallel {
+		t.Fatalf("inner loop should parallelize classically: %s", d.Reason)
+	}
+	if d.Reductions["tempx"] != "+" {
+		t.Errorf("tempx should be a + reduction: %v", d.Reductions)
+	}
+}
+
+const sddmmSrc = `
+void fill(int nonzeros, int *col_val, int *col_ptr) {
+    int holder = 1;
+    int i, r;
+    col_ptr[0] = 0;
+    r = col_val[0];
+    for (i = 0; i < nonzeros; i++) {
+        if (col_val[i] != r) {
+            col_ptr[holder++] = i;
+            r = col_val[i];
+        }
+    }
+}
+void kernel(int n_cols, int k, int *col_ptr, int *row_ind,
+            double *W, double *H, double *nnz_val, double *p) {
+    int r, ind, t;
+    double sm;
+    for (r = 0; r < n_cols; r++) {
+        for (ind = col_ptr[r]; ind < col_ptr[r+1]; ind++) {
+            sm = 0;
+            for (t = 0; t < k; t++) {
+                sm += W[r*k + t] * H[row_ind[ind]*k + t];
+            }
+            p[ind] = sm * nnz_val[ind];
+        }
+    }
+}
+`
+
+// TestSDDMMKernel: the outer loop of Figure 10 parallelizes only with the
+// new algorithm (disjoint windows via monotone col_ptr).
+func TestSDDMMKernel(t *testing.T) {
+	d := analyzeLoop(t, sddmmSrc, "fill", "kernel", 1, phase2.LevelClassical)
+	if d.Parallel {
+		t.Fatal("classical must not parallelize the outer SDDMM loop")
+	}
+	d = analyzeLoop(t, sddmmSrc, "fill", "kernel", 1, phase2.LevelBase)
+	if d.Parallel {
+		t.Fatal("base must not parallelize the outer SDDMM loop")
+	}
+	d = analyzeLoop(t, sddmmSrc, "fill", "kernel", 1, phase2.LevelNew)
+	if !d.Parallel {
+		t.Fatalf("new algorithm should parallelize: %s", d.Reason)
+	}
+	if got := d.CheckString(); got != "-1+n_cols<=holder_max" {
+		t.Errorf("runtime check = %q (paper: -1+n_cols <= holder_max)", got)
+	}
+	// The innermost t-loop is a classical reduction.
+	d = analyzeLoop(t, sddmmSrc, "", "kernel", 3, phase2.LevelClassical)
+	if !d.Parallel || d.Reductions["sm"] != "+" {
+		t.Fatalf("inner loop should be a classical reduction: %+v", d)
+	}
+}
+
+const uaSrc = `
+void fill(int idel[][6][5][5], int LELT) {
+    int iel, j, i, ntemp;
+    for (iel = 0; iel < LELT; iel++) {
+        ntemp = 125*iel;
+        for (j = 0; j < 5; j++) {
+            for (i = 0; i < 5; i++) {
+                idel[iel][0][j][i] = ntemp + i*5 + j*25 + 4;
+                idel[iel][1][j][i] = ntemp + i*5 + j*25;
+                idel[iel][2][j][i] = ntemp + i + j*25 + 20;
+                idel[iel][3][j][i] = ntemp + i + j*25;
+                idel[iel][4][j][i] = ntemp + i + j*5 + 100;
+                idel[iel][5][j][i] = ntemp + i + j*5;
+            }
+        }
+    }
+}
+void kernel(int nelt, int idel[][6][5][5], double *tx, double *tmort) {
+    int iel, iface, j, i;
+    for (iel = 0; iel < nelt; iel++) {
+        for (iface = 0; iface < 6; iface++) {
+            for (j = 0; j < 5; j++) {
+                for (i = 0; i < 5; i++) {
+                    tx[idel[iel][iface][j][i]] = tx[idel[iel][iface][j][i]] + tmort[iel*150 + iface*25 + j*5 + i];
+                }
+            }
+        }
+    }
+}
+`
+
+// TestUAKernel: the transf gather/scatter loop parallelizes only with the
+// new algorithm (multi-dimensional range monotonicity of idel).
+func TestUAKernel(t *testing.T) {
+	d := analyzeLoop(t, uaSrc, "fill", "kernel", 1, phase2.LevelClassical)
+	if d.Parallel {
+		t.Fatal("classical must not parallelize the UA loop")
+	}
+	d = analyzeLoop(t, uaSrc, "fill", "kernel", 1, phase2.LevelBase)
+	if d.Parallel {
+		t.Fatal("base must not parallelize the UA loop")
+	}
+	d = analyzeLoop(t, uaSrc, "fill", "kernel", 1, phase2.LevelNew)
+	if !d.Parallel {
+		t.Fatalf("new algorithm should parallelize: %s", d.Reason)
+	}
+	if len(d.UsedProperties) == 0 || !strings.Contains(d.UsedProperties[0], "SMA") {
+		t.Errorf("should use the idel SMA property: %v", d.UsedProperties)
+	}
+}
+
+const cgSrc = `
+void matvec(int n, int *rowstr, int *colidx, double *a, double *p, double *w) {
+    int j, k;
+    double sum;
+    for (j = 0; j < n; j++) {
+        sum = 0.0;
+        for (k = rowstr[j]; k < rowstr[j+1]; k++) {
+            sum += a[k] * p[colidx[k]];
+        }
+        w[j] = sum;
+    }
+}
+`
+
+// TestCGClassical: the CG sparse matvec gathers through colidx but writes
+// w[j] densely — classical analysis parallelizes the outer loop.
+func TestCGClassical(t *testing.T) {
+	d := analyzeLoop(t, cgSrc, "", "matvec", 1, phase2.LevelClassical)
+	if !d.Parallel {
+		t.Fatalf("CG matvec should parallelize classically: %s", d.Reason)
+	}
+	if len(d.RuntimeChecks) != 0 {
+		t.Errorf("no runtime check expected: %v", d.RuntimeChecks)
+	}
+}
+
+const syrkSrc = `
+void syrk(int n, int m, double alpha, double beta, double C[][1200], double A[][1000]) {
+    int i, j, k;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j <= i; j++)
+            C[i][j] = C[i][j] * beta;
+        for (k = 0; k < m; k++) {
+            for (j = 0; j <= i; j++)
+                C[i][j] = C[i][j] + alpha * A[i][k] * A[j][k];
+        }
+    }
+}
+`
+
+// TestSyrkClassical: dense affine writes C[i][j] parallelize classically
+// on the i loop.
+func TestSyrkClassical(t *testing.T) {
+	d := analyzeLoop(t, syrkSrc, "", "syrk", 1, phase2.LevelClassical)
+	if !d.Parallel {
+		t.Fatalf("syrk i-loop should parallelize classically: %s", d.Reason)
+	}
+}
+
+const isSrc = `
+void rank(int n, int *key_array, int *key_buff) {
+    int i;
+    for (i = 0; i < n; i++) {
+        key_buff[key_array[i]] = key_buff[key_array[i]] + 1;
+    }
+}
+`
+
+// TestISFailsAllLevels: the IS histogram has genuinely colliding updates;
+// no level may parallelize it.
+func TestISFailsAllLevels(t *testing.T) {
+	for _, level := range []phase2.Level{phase2.LevelClassical, phase2.LevelBase, phase2.LevelNew} {
+		d := analyzeLoop(t, isSrc, "", "rank", 1, level)
+		if d.Parallel {
+			t.Fatalf("%s must not parallelize the IS histogram", level)
+		}
+	}
+}
+
+// TestScalarDependenceBlocks: a genuine cross-iteration scalar recurrence
+// blocks parallelization.
+func TestScalarDependenceBlocks(t *testing.T) {
+	src := `
+void f(int n, double *a) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        a[i] = s;
+        s = s * 0.5 + a[i];
+    }
+}
+`
+	d := analyzeLoop(t, src, "", "f", 1, phase2.LevelClassical)
+	if d.Parallel {
+		t.Fatal("scalar recurrence must block")
+	}
+	if !strings.Contains(d.Reason, `"s"`) && !strings.Contains(d.Reason, "a[") {
+		t.Errorf("reason: %s", d.Reason)
+	}
+}
+
+// TestStencilShiftBlocks: a[i] = a[i+1] has a cross-iteration dependence.
+func TestStencilShiftBlocks(t *testing.T) {
+	src := `
+void f(int n, double *a) {
+    int i;
+    for (i = 0; i < n-1; i++) {
+        a[i] = a[i+1];
+    }
+}
+`
+	d := analyzeLoop(t, src, "", "f", 1, phase2.LevelClassical)
+	if d.Parallel {
+		t.Fatal("shifted stencil must block")
+	}
+}
+
+// TestTwoArrayStencilParallel: the Jacobi pattern B[i] = f(A[i-1..i+1])
+// parallelizes (different arrays).
+func TestTwoArrayStencilParallel(t *testing.T) {
+	src := `
+void f(int n, double *a, double *b) {
+    int i;
+    for (i = 1; i < n-1; i++) {
+        b[i] = 0.33 * (a[i-1] + a[i] + a[i+1]);
+    }
+}
+`
+	d := analyzeLoop(t, src, "", "f", 1, phase2.LevelClassical)
+	if !d.Parallel {
+		t.Fatalf("Jacobi stencil should parallelize: %s", d.Reason)
+	}
+}
+
+// TestBlockedRowsParallel: A[i*10+j] with j in [0:9] parallelizes (stride
+// out-runs the inner width), while j in [0:10] does not.
+func TestBlockedRowsParallel(t *testing.T) {
+	okSrc := `
+void f(int n, double *a) {
+    int i, j;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < 10; j++) {
+            a[i*10 + j] = 1.0;
+        }
+    }
+}
+`
+	d := analyzeLoop(t, okSrc, "", "f", 1, phase2.LevelClassical)
+	if !d.Parallel {
+		t.Fatalf("blocked rows should parallelize: %s", d.Reason)
+	}
+	badSrc := `
+void f(int n, double *a) {
+    int i, j;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < 11; j++) {
+            a[i*10 + j] = 1.0;
+        }
+    }
+}
+`
+	d = analyzeLoop(t, badSrc, "", "f", 1, phase2.LevelClassical)
+	if d.Parallel {
+		t.Fatal("overlapping blocked rows must block")
+	}
+}
+
+// TestRuntimeCheckEvaluates: the emitted check is a well-formed condition.
+func TestRuntimeCheckEvaluates(t *testing.T) {
+	d := analyzeLoop(t, amgSrc, "fill", "kernel", 1, phase2.LevelNew)
+	if len(d.RuntimeChecks) != 1 {
+		t.Fatalf("checks: %v", d.RuntimeChecks)
+	}
+	env := &symbolic.Env{Vars: map[string]int64{"num_rownnz": 50, "irownnz_max": 80}}
+	ok, err := symbolic.EvalBool(d.RuntimeChecks[0], env)
+	if err != nil || !ok {
+		t.Errorf("check should pass for 49<=80: ok=%v err=%v", ok, err)
+	}
+	env.Vars["irownnz_max"] = 10
+	ok, _ = symbolic.EvalBool(d.RuntimeChecks[0], env)
+	if ok {
+		t.Error("check should fail for 49<=10")
+	}
+}
+
+// TestGCDDisjoint: interleaved even/odd accesses never collide (GCD
+// test), while same-parity shifted accesses do.
+func TestGCDDisjoint(t *testing.T) {
+	okSrc := `
+void f(int n, double *a) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[2*i] = a[2*i + 1] * 0.5;
+    }
+}
+`
+	d := analyzeLoop(t, okSrc, "", "f", 1, phase2.LevelClassical)
+	if !d.Parallel {
+		t.Fatalf("even/odd interleave should parallelize: %s", d.Reason)
+	}
+	badSrc := `
+void f(int n, double *a) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[2*i] = a[2*i + 2] * 0.5;
+    }
+}
+`
+	d = analyzeLoop(t, badSrc, "", "f", 1, phase2.LevelClassical)
+	if d.Parallel {
+		t.Fatal("same-parity shift must block")
+	}
+}

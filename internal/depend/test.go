@@ -1,0 +1,541 @@
+package depend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cminus"
+	"repro/internal/normalize"
+	"repro/internal/property"
+	"repro/internal/ranges"
+	"repro/internal/symbolic"
+)
+
+// Decision is the outcome of dependence testing for one loop.
+type Decision struct {
+	Label    string
+	Parallel bool
+	// Reason explains a negative decision (first blocking dependence).
+	Reason string
+	// Privates lists scalars to privatize when parallelizing.
+	Privates []string
+	// Reductions maps reduction scalars to their operators.
+	Reductions map[string]string
+	// RuntimeChecks are conditions that must hold at run time for the
+	// parallel execution to be valid (evaluated by the generated code; the
+	// loop falls back to serial execution when one fails).
+	RuntimeChecks []symbolic.Expr
+	// UsedProperties lists the subscript-array properties the decision
+	// relied on (empty for purely classical decisions).
+	UsedProperties []string
+}
+
+// CheckString renders the runtime checks as a C conjunction for the
+// OpenMP if-clause.
+func (d *Decision) CheckString() string {
+	if len(d.RuntimeChecks) == 0 {
+		return ""
+	}
+	parts := make([]string, len(d.RuntimeChecks))
+	for i, c := range d.RuntimeChecks {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " && ")
+}
+
+// Tester runs dependence tests for loops of one function.
+type Tester struct {
+	// Props is the subscript-array property database (may be empty for
+	// classical-only testing).
+	Props *property.DB
+	// Dict supplies symbol ranges for symbolic proofs.
+	Dict *ranges.Dict
+}
+
+// NewTester returns a Tester; nil arguments become empty defaults.
+func NewTester(props *property.DB, dict *ranges.Dict) *Tester {
+	if props == nil {
+		props = property.NewDB()
+	}
+	if dict == nil {
+		dict = ranges.New()
+	}
+	return &Tester{Props: props, Dict: dict}
+}
+
+// Analyze decides whether loop can be run in parallel.
+func (t *Tester) Analyze(loop *cminus.ForStmt, meta *normalize.LoopMeta) *Decision {
+	d := &Decision{Label: loop.Label, Reductions: map[string]string{}}
+	if meta == nil || !meta.Eligible {
+		d.Reason = "loop not in canonical form"
+		if meta != nil {
+			d.Reason = meta.Reason
+		}
+		return d
+	}
+	info := CollectAccesses(loop, meta)
+	if info.HasUnknownCall {
+		d.Reason = "side-effecting call in body"
+		return d
+	}
+
+	// Scalars: private, reduction, or blocking.
+	names := make([]string, 0, len(info.ScalarWrites))
+	for v := range info.ScalarWrites {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	for _, v := range names {
+		if v == meta.Var {
+			continue
+		}
+		if op, ok := info.Reductions[v]; ok && op != "" {
+			d.Reductions[v] = op
+			continue
+		}
+		if info.ScalarFirstIsWrite[v] {
+			d.Privates = append(d.Privates, v)
+			continue
+		}
+		d.Reason = fmt.Sprintf("cross-iteration scalar dependence on %q", v)
+		return d
+	}
+
+	// Arrays: every pair involving a write must be provably disjoint
+	// across iterations.
+	byArray := map[string][]ArrayAccess{}
+	for _, a := range info.Accesses {
+		byArray[a.Array] = append(byArray[a.Array], a)
+	}
+	arrays := make([]string, 0, len(byArray))
+	for a := range byArray {
+		arrays = append(arrays, a)
+	}
+	sort.Strings(arrays)
+	for _, arr := range arrays {
+		accs := byArray[arr]
+		hasWrite := false
+		for _, a := range accs {
+			if a.Kind == Write {
+				hasWrite = true
+			}
+		}
+		if !hasWrite {
+			continue
+		}
+		for _, a := range accs {
+			if a.Kind != Write {
+				continue
+			}
+			// A write is checked against every access including itself
+			// (output dependence across iterations).
+			for _, b := range accs {
+				if ok, reason := t.pairIndependent(a, b, info, d); !ok {
+					d.Reason = fmt.Sprintf("array %q: %s", arr, reason)
+					return d
+				}
+			}
+		}
+	}
+	d.Parallel = true
+	return d
+}
+
+// pairIndependent proves that accesses a and b cannot touch the same
+// element in different iterations of the tested loop.
+func (t *Tester) pairIndependent(a, b ArrayAccess, info *LoopAccessInfo, d *Decision) (bool, string) {
+	if len(a.Indices) != len(b.Indices) {
+		return false, "dimensionality mismatch"
+	}
+	for dim := range a.Indices {
+		if t.disjointDim(a.Indices[dim], b.Indices[dim], info, d) {
+			return true, ""
+		}
+	}
+	return false, fmt.Sprintf("cannot disprove dependence between %s and %s",
+		renderAccess(a), renderAccess(b))
+}
+
+func renderAccess(a ArrayAccess) string {
+	var sb strings.Builder
+	sb.WriteString(a.Array)
+	for _, ix := range a.Indices {
+		fmt.Fprintf(&sb, "[%s]", ix)
+	}
+	return sb.String()
+}
+
+// disjointDim proves that subscripts s1 and s2 in one dimension can never
+// be equal for two different values of the tested loop's index.
+func (t *Tester) disjointDim(s1, s2 symbolic.Expr, info *LoopAccessInfo, d *Decision) bool {
+	if symbolic.IsBottom(s1) || symbolic.IsBottom(s2) {
+		return false
+	}
+	v := info.Meta.Var
+	// Case 1: affine subscripts with a common coefficient large enough to
+	// out-stride the residual ranges (classical range test).
+	if t.affineDisjoint(s1, s2, v, info) {
+		return true
+	}
+	// Case 1b: affine subscripts whose residual difference misses every
+	// multiple of the coefficient gcd (classical GCD test).
+	if t.gcdDisjoint(s1, s2, v, info) {
+		return true
+	}
+	// Case 2: identical subscripted subscript idx[g(v)] with idx known
+	// injective (strictly monotonic).
+	if t.injectiveSubscript(s1, s2, v, info, d) {
+		return true
+	}
+	// Case 3: inner-loop index ranging over idx[f(v)] .. idx[f(v)+1] with
+	// idx known monotonic: per-iteration windows are disjoint.
+	if t.disjointWindows(s1, s2, v, info, d) {
+		return true
+	}
+	// Case 4: multi-dimensional subscript array, range-monotonic w.r.t.
+	// the dimension indexed by the tested loop variable.
+	if t.multiDimDisjoint(s1, s2, v, info, d) {
+		return true
+	}
+	return false
+}
+
+// affineDisjoint: s1 = a*v + r1, s2 = a*v + r2 with residual ranges
+// narrower than the stride a.
+func (t *Tester) affineDisjoint(s1, s2 symbolic.Expr, v string, info *LoopAccessInfo) bool {
+	a1, r1, ok1 := linearIn(s1, v)
+	a2, r2, ok2 := linearIn(s2, v)
+	if !ok1 || !ok2 || !symbolic.Equal(a1, a2) {
+		return false
+	}
+	if symbolic.SignOf(a1, t.Dict) != symbolic.SignPositive {
+		// Handle negative strides by negating.
+		if symbolic.SignOf(a1, t.Dict) == symbolic.SignNegative {
+			a1 = symbolic.NegExpr(a1)
+			r1, r2 = symbolic.NegExpr(r1), symbolic.NegExpr(r2)
+		} else {
+			return false
+		}
+	}
+	rl1, ru1, ok := t.boundInner(r1, info)
+	if !ok {
+		return false
+	}
+	rl2, ru2, ok := t.boundInner(r2, info)
+	if !ok {
+		return false
+	}
+	// No nonzero multiple of a in [rl2-ru1, ru2-rl1]:
+	// a > ru2-rl1 and a > ru1-rl2.
+	return symbolic.ProveGT(a1, symbolic.SubExpr(ru2, rl1), t.Dict) &&
+		symbolic.ProveGT(a1, symbolic.SubExpr(ru1, rl2), t.Dict)
+}
+
+// gcdDisjoint: s1 = a1·v + r1 and s2 = a2·v + r2 with constant
+// coefficients collide only if (r2-r1) ≡ 0 (mod gcd(a1,a2)); when the
+// residual difference interval contains no such value, the accesses are
+// independent for *any* pair of iterations (e.g. a[2i] never meets
+// a[2i+1]).
+func (t *Tester) gcdDisjoint(s1, s2 symbolic.Expr, v string, info *LoopAccessInfo) bool {
+	a1, r1, ok1 := linearIntCoef(s1, v)
+	a2, r2, ok2 := linearIntCoef(s2, v)
+	if !ok1 || !ok2 || a1 == 0 || a2 == 0 {
+		return false
+	}
+	g := gcd64(abs64(a1), abs64(a2))
+	if g <= 1 {
+		return false
+	}
+	rl1, ru1, ok := t.boundInner(r1, info)
+	if !ok {
+		return false
+	}
+	rl2, ru2, ok := t.boundInner(r2, info)
+	if !ok {
+		return false
+	}
+	lo, okLo := symbolic.AsInt(symbolic.Simplify(symbolic.SubExpr(rl2, ru1)))
+	hi, okHi := symbolic.AsInt(symbolic.Simplify(symbolic.SubExpr(ru2, rl1)))
+	if !okLo || !okHi || lo > hi {
+		// Symbolic residuals: check whether the difference is a single
+		// constant (width-0 interval) not divisible by g.
+		d, okD := symbolic.AsInt(symbolic.Simplify(symbolic.SubExpr(
+			symbolic.SubExpr(rl2, rl1), symbolic.Zero)))
+		if okD && symbolic.Equal(rl1, ru1) && symbolic.Equal(rl2, ru2) {
+			return d%g != 0
+		}
+		return false
+	}
+	// Any multiple of g in [lo, hi]?
+	first := (lo + g - 1) / g * g
+	if lo <= 0 && hi >= 0 {
+		return false // zero is a multiple
+	}
+	return first > hi
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs64(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// boundInner bounds an expression over the inner-loop index variables,
+// substituting their affine iteration ranges. Fails if unbounded
+// variables remain.
+func (t *Tester) boundInner(r symbolic.Expr, info *LoopAccessInfo) (lo, hi symbolic.Expr, ok bool) {
+	cur := r
+	for pass := 0; pass < 3; pass++ {
+		sub := symbolic.Subst{}
+		for iv, rg := range info.InnerRanges {
+			if symbolic.ContainsSym(cur, iv) {
+				if symbolic.IsBottom(rg[0]) || symbolic.IsBottom(rg[1]) {
+					return nil, nil, false
+				}
+				if symbolic.ContainsKind(rg[0], symbolic.KArrayRef) ||
+					symbolic.ContainsKind(rg[1], symbolic.KArrayRef) {
+					return nil, nil, false
+				}
+				sub[iv] = symbolic.NewRange(rg[0], rg[1])
+			}
+		}
+		if len(sub) == 0 {
+			break
+		}
+		cur = symbolic.Substitute(cur, sub)
+	}
+	// Any remaining inner variable is unbounded.
+	for _, inner := range info.InnerLoops {
+		if iv, _, ok := initVar(inner.Init); ok && symbolic.ContainsSym(cur, iv) {
+			return nil, nil, false
+		}
+	}
+	if symbolic.IsBottom(cur) {
+		return nil, nil, false
+	}
+	lo, hi = symbolic.Bounds(symbolic.Simplify(cur))
+	return lo, hi, true
+}
+
+// injectiveSubscript: both subscripts are idx[g(v)] (+ equal offset) for
+// the same subscript array idx, g changes every iteration, and idx is
+// known strictly monotonic. Emits the run-time section check.
+func (t *Tester) injectiveSubscript(s1, s2 symbolic.Expr, v string, info *LoopAccessInfo, d *Decision) bool {
+	ar1, off1, ok1 := splitIndirection(s1)
+	ar2, off2, ok2 := splitIndirection(s2)
+	if !ok1 || !ok2 {
+		return false
+	}
+	if ar1.Name != ar2.Name || len(ar1.Indices) != 1 || len(ar2.Indices) != 1 {
+		return false
+	}
+	if !symbolic.Equal(off1, off2) || !symbolic.Equal(ar1.Indices[0], ar2.Indices[0]) {
+		return false
+	}
+	g := ar1.Indices[0]
+	coef, _, ok := linearIntCoef(g, v)
+	if !ok || coef == 0 {
+		return false
+	}
+	p := t.Props.Best(ar1.Name)
+	if p == nil || !p.Injective() || p.NumDims != 1 {
+		return false
+	}
+	t.emitSectionCheck(p, g, v, info, d)
+	return true
+}
+
+// splitIndirection decomposes s = idx[g] + c.
+func splitIndirection(s symbolic.Expr) (symbolic.ArrayRef, symbolic.Expr, bool) {
+	if ar, ok := s.(symbolic.ArrayRef); ok {
+		return ar, symbolic.Zero, true
+	}
+	add, ok := s.(symbolic.Add)
+	if !ok {
+		return symbolic.ArrayRef{}, nil, false
+	}
+	var ar symbolic.ArrayRef
+	found := false
+	rest := []symbolic.Expr{}
+	for _, term := range add.Terms {
+		if a, isRef := term.(symbolic.ArrayRef); isRef && !found {
+			ar = a
+			found = true
+			continue
+		}
+		rest = append(rest, term)
+	}
+	if !found {
+		return symbolic.ArrayRef{}, nil, false
+	}
+	return ar, symbolic.Simplify(symbolic.Add{Terms: rest}), true
+}
+
+// disjointWindows: after loop normalization, a window access appears as
+// idx[f(v)] + iv with iv ranging over [0 : idx[f(v)+1]-idx[f(v)]-1] — the
+// original for (iv = idx[f]; iv < idx[f+1]; iv++) body access. Windows for
+// different v do not overlap when idx is monotonic (non-strict suffices).
+func (t *Tester) disjointWindows(s1, s2 symbolic.Expr, v string, info *LoopAccessInfo, d *Decision) bool {
+	iv1, c1, ok1 := symOffset(s1)
+	iv2, c2, ok2 := symOffset(s2)
+	if !ok1 || !ok2 || iv1 != iv2 || !symbolic.Equal(c1, c2) {
+		return false
+	}
+	// The shared offset must be a one-dimensional subscript-array read
+	// idx[f(v)].
+	ar, isRef := c1.(symbolic.ArrayRef)
+	if !isRef || len(ar.Indices) != 1 {
+		return false
+	}
+	f := ar.Indices[0]
+	coef, _, okc := linearIntCoef(f, v)
+	if !okc || coef == 0 {
+		return false
+	}
+	// The inner variable's range must be exactly the window width:
+	// [0 : idx[f+1] - idx[f] - 1].
+	rng, has := info.InnerRanges[iv1]
+	if !has {
+		return false
+	}
+	if !symbolic.Equal(rng[0], symbolic.Zero) {
+		return false
+	}
+	next := symbolic.ArrayRef{Name: ar.Name, Indices: []symbolic.Expr{symbolic.AddExpr(f, symbolic.One)}}
+	wantHi := symbolic.SubExpr(symbolic.SubExpr(next, ar), symbolic.One)
+	if !symbolic.Equal(rng[1], wantHi) {
+		return false
+	}
+	p := t.Props.Best(ar.Name)
+	if p == nil || p.NumDims != 1 || p.Decreasing {
+		return false
+	}
+	// Non-strict monotonicity suffices for window disjointness.
+	t.emitSectionCheck(p, f, v, info, d)
+	return true
+}
+
+// symOffset decomposes s = sym + c for a plain symbol.
+func symOffset(s symbolic.Expr) (string, symbolic.Expr, bool) {
+	if sym, ok := s.(symbolic.Sym); ok {
+		return sym.Name, symbolic.Zero, true
+	}
+	add, ok := s.(symbolic.Add)
+	if !ok {
+		return "", nil, false
+	}
+	var name string
+	rest := []symbolic.Expr{}
+	for _, term := range add.Terms {
+		if sym, isSym := term.(symbolic.Sym); isSym && name == "" {
+			name = sym.Name
+			continue
+		}
+		rest = append(rest, term)
+	}
+	if name == "" {
+		return "", nil, false
+	}
+	return name, symbolic.Simplify(symbolic.Add{Terms: rest}), true
+}
+
+// multiDimDisjoint: subscript is idx[g(v)][*]... with idx range-monotonic
+// and strict w.r.t. the dimension indexed by g(v).
+func (t *Tester) multiDimDisjoint(s1, s2 symbolic.Expr, v string, info *LoopAccessInfo, d *Decision) bool {
+	ar1, off1, ok1 := splitIndirection(s1)
+	ar2, off2, ok2 := splitIndirection(s2)
+	if !ok1 || !ok2 || ar1.Name != ar2.Name || !symbolic.Equal(off1, off2) {
+		return false
+	}
+	p := t.Props.Best(ar1.Name)
+	if p == nil || p.NumDims < 2 || !p.Strict {
+		return false
+	}
+	if p.Dim >= len(ar1.Indices) || len(ar1.Indices) != p.NumDims || len(ar2.Indices) != p.NumDims {
+		return false
+	}
+	g1 := ar1.Indices[p.Dim]
+	g2 := ar2.Indices[p.Dim]
+	if !symbolic.Equal(g1, g2) {
+		return false
+	}
+	coef, _, ok := linearIntCoef(g1, v)
+	if !ok || coef == 0 {
+		return false
+	}
+	d.UsedProperties = append(d.UsedProperties, p.String())
+	return true
+}
+
+// emitSectionCheck records that the accessed subscript section must lie
+// within the array's known monotonic section; for intermittent sequences
+// the upper end (counter_max) is only known at run time, producing the
+// paper's "-1+num_rownnz <= irownnz_max" style condition.
+func (t *Tester) emitSectionCheck(p *property.ArrayProperty, g symbolic.Expr, v string, info *LoopAccessInfo, d *Decision) {
+	d.UsedProperties = append(d.UsedProperties, p.String())
+	if p.Kind != property.KindIntermittent || p.IndexHi == nil {
+		return
+	}
+	n := convertSubscript(info.Meta.Count)
+	gMax := symbolic.Substitute(g, symbolic.Subst{v: symbolic.SubExpr(n, symbolic.One)})
+	check := symbolic.Simplify(symbolic.Cmp{Op: symbolic.OpLE, L: gMax, R: p.IndexHi})
+	for _, c := range d.RuntimeChecks {
+		if symbolic.Equal(c, check) {
+			return
+		}
+	}
+	d.RuntimeChecks = append(d.RuntimeChecks, check)
+}
+
+// linearIn decomposes e = alpha*v + rest by probing (same technique as
+// Phase 2); alpha and rest may reference inner-loop variables.
+func linearIn(e symbolic.Expr, v string) (alpha, rest symbolic.Expr, ok bool) {
+	f0 := symbolic.Substitute(e, symbolic.Subst{v: symbolic.Zero})
+	f1 := symbolic.Substitute(e, symbolic.Subst{v: symbolic.One})
+	f2 := symbolic.Substitute(e, symbolic.Subst{v: symbolic.NewInt(2)})
+	if symbolic.IsBottom(f0) || symbolic.IsBottom(f1) || symbolic.IsBottom(f2) {
+		return nil, nil, false
+	}
+	// The variable must not occur inside opaque atoms (array refs).
+	opaque := false
+	symbolic.Walk(e, func(x symbolic.Expr) bool {
+		switch x.(type) {
+		case symbolic.ArrayRef, symbolic.Call, symbolic.Div, symbolic.Mod:
+			if symbolic.ContainsSym(x, v) {
+				opaque = true
+			}
+		}
+		return !opaque
+	})
+	if opaque {
+		return nil, nil, false
+	}
+	d1 := symbolic.SubExpr(f1, f0)
+	d2 := symbolic.SubExpr(f2, f1)
+	if !symbolic.Equal(d1, d2) {
+		return nil, nil, false
+	}
+	return symbolic.Simplify(d1), symbolic.Simplify(f0), true
+}
+
+// linearIntCoef is linearIn restricted to integer coefficients.
+func linearIntCoef(e symbolic.Expr, v string) (int64, symbolic.Expr, bool) {
+	alpha, rest, ok := linearIn(e, v)
+	if !ok {
+		return 0, nil, false
+	}
+	c, isInt := symbolic.AsInt(alpha)
+	if !isInt {
+		return 0, nil, false
+	}
+	return c, rest, true
+}

@@ -1,0 +1,74 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cminus"
+)
+
+// callUser executes a user-defined function called from program code:
+// scalar parameters bind by value, array/pointer parameters bind by
+// reference (the argument must be a plain identifier naming an array).
+// The callee's parameter names temporarily shadow same-named arrays.
+func (m *Machine) callUser(fn *cminus.FuncDecl, c *cminus.CallExpr, e *env) (Value, error) {
+	if len(c.Args) != len(fn.Params) {
+		return Value{}, fmt.Errorf("interp: %s expects %d args, got %d at %s",
+			fn.Name, len(fn.Params), len(c.Args), c.P)
+	}
+	callee := &env{vars: map[string]*Value{}}
+	type shadow struct {
+		name string
+		arr  *Array
+		had  bool
+	}
+	var shadows []shadow
+	for i, prm := range fn.Params {
+		if prm.PtrDeep > 0 || len(prm.Dims) > 0 {
+			id, ok := c.Args[i].(*cminus.Ident)
+			if !ok {
+				return Value{}, fmt.Errorf("interp: array argument %d of %s must be an identifier at %s",
+					i, fn.Name, c.P)
+			}
+			arr, found := m.Arrays[id.Name]
+			if !found {
+				return Value{}, fmt.Errorf("interp: unknown array %q passed to %s at %s",
+					id.Name, fn.Name, c.P)
+			}
+			prev, had := m.Arrays[prm.Name]
+			shadows = append(shadows, shadow{name: prm.Name, arr: prev, had: had})
+			m.Arrays[prm.Name] = arr
+			continue
+		}
+		v, err := m.eval(c.Args[i], e)
+		if err != nil {
+			return Value{}, err
+		}
+		isFloat := strings.Contains(prm.Type, "double") || strings.Contains(prm.Type, "float")
+		callee.define(prm.Name, convert(v, isFloat))
+	}
+	defer func() {
+		for i := len(shadows) - 1; i >= 0; i-- {
+			s := shadows[i]
+			if s.had {
+				m.Arrays[s.name] = s.arr
+			} else {
+				delete(m.Arrays, s.name)
+			}
+		}
+	}()
+
+	prevRet := m.retVal
+	m.retVal = Value{}
+	err := m.execBlock(fn.Body, callee, m.funcPlan(fn.Name))
+	ret := m.retVal
+	m.retVal = prevRet
+	if err == errReturn {
+		err = nil
+	}
+	if err != nil {
+		return Value{}, err
+	}
+	isFloat := strings.Contains(fn.RetType, "double") || strings.Contains(fn.RetType, "float")
+	return convert(ret, isFloat), nil
+}

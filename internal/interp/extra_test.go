@@ -1,0 +1,216 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cminus"
+)
+
+func mustMachine(t *testing.T, src string) *Machine {
+	t.Helper()
+	m, err := New(cminus.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestOperatorsAndCasts(t *testing.T) {
+	src := `
+void f(int *out, double *fout) {
+    int a, b;
+    a = 13; b = 5;
+    out[0] = a % b;
+    out[1] = a / b;
+    out[2] = a & b;
+    out[3] = a | b;
+    out[4] = a ^ b;
+    out[5] = a << 2;
+    out[6] = a >> 1;
+    out[7] = ~a;
+    out[8] = !a;
+    out[9] = a > b ? a : b;
+    out[10] = (int)(7.9);
+    fout[0] = (double)a / (double)b;
+    fout[1] = -2.5;
+}
+`
+	m := mustMachine(t, src)
+	out := NewIntArray("out", 11)
+	fout := NewFloatArray("fout", 2)
+	if err := m.Call("f", out, fout); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{3, 2, 13 & 5, 13 | 5, 13 ^ 5, 52, 6, ^int64(13), 0, 13, 7}
+	for i, w := range want {
+		if out.Ints[i] != w {
+			t.Errorf("out[%d] = %d, want %d", i, out.Ints[i], w)
+		}
+	}
+	if math.Abs(fout.Flts[0]-2.6) > 1e-12 || fout.Flts[1] != -2.5 {
+		t.Errorf("fout = %v", fout.Flts)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand would divide by zero; short circuit avoids it.
+	src := `
+void f(int z, int *out) {
+    out[0] = (z != 0) && (10 / z > 1);
+    out[1] = (z == 0) || (10 / (z + 1) > 100);
+}
+`
+	m := mustMachine(t, src)
+	out := NewIntArray("out", 2)
+	if err := m.Call("f", int64(0), out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Ints[0] != 0 || out.Ints[1] != 1 {
+		t.Errorf("short circuit: %v", out.Ints)
+	}
+}
+
+func TestUserCallWithReturn(t *testing.T) {
+	src := `
+int square(int x) { return x * x; }
+double half(double x) { return x / 2.0; }
+void f(int *out, double *fout) {
+    out[0] = square(7);
+    fout[0] = half(9.0);
+}
+`
+	m := mustMachine(t, src)
+	out := NewIntArray("out", 1)
+	fout := NewFloatArray("fout", 1)
+	if err := m.Call("f", out, fout); err != nil {
+		t.Fatal(err)
+	}
+	if out.Ints[0] != 49 || fout.Flts[0] != 4.5 {
+		t.Errorf("returns: %v %v", out.Ints, fout.Flts)
+	}
+}
+
+func TestUserCallArrayShadowing(t *testing.T) {
+	// The callee's parameter name collides with a caller array; binding
+	// must shadow and restore.
+	src := `
+void inc(int *data) { data[0] = data[0] + 1; }
+void f(int *data, int *other) {
+    inc(other);
+    data[0] = data[0] + 100;
+}
+`
+	m := mustMachine(t, src)
+	data := NewIntArray("data", 1)
+	other := NewIntArray("other", 1)
+	if err := m.Call("f", data, other); err != nil {
+		t.Fatal(err)
+	}
+	if other.Ints[0] != 1 || data.Ints[0] != 100 {
+		t.Errorf("shadowing broken: data=%v other=%v", data.Ints, other.Ints)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	m := mustMachine(t, `void f(int x) { x = x / 0; }`)
+	if err := m.Call("f", int64(1)); err == nil {
+		t.Error("division by zero should error")
+	}
+	m = mustMachine(t, `void f(int x) { x = x % 0; }`)
+	if err := m.Call("f", int64(1)); err == nil {
+		t.Error("modulo by zero should error")
+	}
+	m = mustMachine(t, `void f(void) { int x; x = nosuchfn(1); }`)
+	if err := m.Call("f"); err == nil {
+		t.Error("unknown function should error")
+	}
+	m = mustMachine(t, `void f(void) { int x; x = y + 1; }`)
+	if err := m.Call("f"); err == nil {
+		t.Error("unbound variable should error")
+	}
+	m = mustMachine(t, `void f(int *a) { }`)
+	if err := m.Call("f"); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	if err := m.Call("nope"); err == nil {
+		t.Error("missing function should error")
+	}
+}
+
+func TestMultiDimArrays(t *testing.T) {
+	src := `
+void f(int g[][4][5], int *out) {
+    int i, j, k;
+    for (i = 0; i < 3; i++)
+        for (j = 0; j < 4; j++)
+            for (k = 0; k < 5; k++)
+                g[i][j][k] = i*100 + j*10 + k;
+    out[0] = g[2][3][4];
+}
+`
+	m := mustMachine(t, src)
+	g := NewIntArray("g", 3, 4, 5)
+	out := NewIntArray("out", 1)
+	if err := m.Call("f", g, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Ints[0] != 234 {
+		t.Errorf("g[2][3][4] = %d", out.Ints[0])
+	}
+	// Wrong dimensionality errors.
+	if _, err := g.Get([]int64{1, 2}); err == nil {
+		t.Error("partial indexing should error")
+	}
+}
+
+func TestLocalArrayDeclaration(t *testing.T) {
+	src := `
+void f(int *out) {
+    double tmp[8];
+    int i;
+    for (i = 0; i < 8; i++) tmp[i] = (double)i;
+    out[0] = (int)(tmp[3] + tmp[4]);
+}
+`
+	m := mustMachine(t, src)
+	out := NewIntArray("out", 1)
+	if err := m.Call("f", out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Ints[0] != 7 {
+		t.Errorf("got %d", out.Ints[0])
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	v := IntVal(3)
+	if v.AsFloat() != 3 || !v.Truthy() || v.String() != "3" {
+		t.Error("int value helpers")
+	}
+	f := FloatVal(2.5)
+	if f.AsInt() != 2 || f.String() != "2.5" || !f.Truthy() {
+		t.Error("float value helpers")
+	}
+	if FloatVal(0).Truthy() || IntVal(0).Truthy() {
+		t.Error("zero is falsy")
+	}
+}
+
+func TestMaxAbsDiffShapes(t *testing.T) {
+	a := NewIntArray("a", 3)
+	b := NewFloatArray("b", 3)
+	if !math.IsInf(MaxAbsDiff(a, b), 1) {
+		t.Error("type mismatch is +inf")
+	}
+	c := NewIntArray("c", 3)
+	c.Ints[1] = 7
+	if MaxAbsDiff(a, c) != 7 {
+		t.Error("int diff")
+	}
+	d := NewFloatArray("d", 3)
+	d.Flts[2] = -1.5
+	if MaxAbsDiff(b, d) != 1.5 {
+		t.Error("float diff")
+	}
+}

@@ -1,0 +1,176 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sparse"
+)
+
+// smallSet builds scaled-down instances of all 12 kernels for testing.
+func smallSet() []Kernel {
+	tiny := sparse.Dataset{Name: "tiny", Rows: 300, Cols: 300, MeanNNZ: 8, Shape: sparse.Skewed, EmptyFrac: 0.2, Seed: 42}
+	tinyBal := sparse.Dataset{Name: "tinybal", Rows: 300, Cols: 300, MeanNNZ: 8, Shape: sparse.Balanced, Seed: 43}
+	return []Kernel{
+		NewAMGFromCSR("tiny", tiny.Build()),
+		NewCHOLMOD(tinyBal, 16),
+		NewSDDMMRank(tinyBal, 16),
+		NewUA(sparse.UAClass{Name: "tiny", Lelt: 64}),
+		NewCG(tinyBal),
+		NewHeat3D("tiny", 18),
+		NewFDTD2D("tiny", 4, 40, 40),
+		NewGramschmidt("tiny", 40, 30),
+		NewSyrk("tiny", 40, 24),
+		NewMG("tiny", 18),
+		NewIS("tiny", 5000, 7),
+		NewIC(tinyBal),
+	}
+}
+
+// TestSerialParallelEquivalence: for every kernel, parallel execution
+// (static and dynamic) matches serial execution. This is the executable
+// soundness claim for the parallelization strategies the analysis
+// selects.
+func TestSerialParallelEquivalence(t *testing.T) {
+	for _, k := range smallSet() {
+		k.Reset()
+		k.RunSerial()
+		want := k.Checksum()
+
+		for _, policy := range []sched.Policy{sched.Static, sched.Dynamic} {
+			k.Reset()
+			k.RunParallel(sched.Options{Workers: 2, Policy: policy, Chunk: 3})
+			got := k.Checksum()
+			if relDiff(got, want) > 1e-9 {
+				t.Errorf("%s/%s (%s): parallel %.12g vs serial %.12g",
+					k.Name(), k.Dataset(), policy, got, want)
+			}
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return d
+	}
+	return d / scale
+}
+
+// TestRepeatability: Reset + RunSerial is idempotent.
+func TestRepeatability(t *testing.T) {
+	for _, k := range smallSet() {
+		k.Reset()
+		k.RunSerial()
+		first := k.Checksum()
+		k.Reset()
+		k.RunSerial()
+		if k.Checksum() != first {
+			t.Errorf("%s: not repeatable", k.Name())
+		}
+	}
+}
+
+// TestWorkModelsPositive: every kernel's work model is non-trivial and
+// finite.
+func TestWorkModelsPositive(t *testing.T) {
+	for _, k := range smallSet() {
+		iters := k.Iters()
+		if len(iters) == 0 {
+			t.Errorf("%s: empty work model", k.Name())
+			continue
+		}
+		total := TotalUnits(k)
+		if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+			t.Errorf("%s: total units %g", k.Name(), total)
+		}
+		for _, it := range iters {
+			if it.Serial < 0 {
+				t.Errorf("%s: negative serial units", k.Name())
+			}
+			for _, r := range it.Regions {
+				if r.Units < 0 || r.Trips < 0 {
+					t.Errorf("%s: negative region", k.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestAMGSkipsEmptyRows: the rownnz list excludes empty rows and the
+// kernel only touches those entries of y.
+func TestAMGSkipsEmptyRows(t *testing.T) {
+	d := sparse.Dataset{Name: "t", Rows: 200, Cols: 200, MeanNNZ: 5, Shape: sparse.Balanced, EmptyFrac: 0.5, Seed: 9}
+	m := d.Build()
+	k := NewAMGFromCSR("t", m)
+	nonEmpty := 0
+	for i := 0; i < m.Rows; i++ {
+		if m.RowNNZ(i) > 0 {
+			nonEmpty++
+		}
+	}
+	if len(k.rownnz) != nonEmpty {
+		t.Errorf("rownnz has %d entries, want %d", len(k.rownnz), nonEmpty)
+	}
+	if len(k.Iters()) != nonEmpty {
+		t.Errorf("work model should cover only nonzero rows")
+	}
+}
+
+// TestUADisjointBlocks: each element's idel entries stay within its own
+// 125-point block (the property the parallelization relies on).
+func TestUADisjointBlocks(t *testing.T) {
+	k := NewUA(sparse.UAClass{Name: "t", Lelt: 10})
+	for iel := 0; iel < 10; iel++ {
+		lo, hi := int32(125*iel), int32(125*iel+124)
+		for p := 0; p < 150; p++ {
+			v := k.idel[iel*150+p]
+			if v < lo || v > hi {
+				t.Fatalf("element %d writes outside its block: %d not in [%d,%d]", iel, v, lo, hi)
+			}
+		}
+	}
+}
+
+// TestSDDMMWindows: column windows into p are the col_ptr extents.
+func TestSDDMMWindows(t *testing.T) {
+	d := sparse.Dataset{Name: "t", Rows: 100, Cols: 100, MeanNNZ: 4, Shape: sparse.Skewed, Seed: 5}
+	k := NewSDDMMRank(d, 8)
+	k.RunSerial()
+	// Every p entry must have been written (all columns non-empty).
+	zero := 0
+	for _, v := range k.p {
+		if v == 0 {
+			zero++
+		}
+	}
+	// Some products may legitimately be zero, but not the vast majority.
+	if zero > len(k.p)/2 {
+		t.Errorf("suspiciously many zero outputs: %d/%d", zero, len(k.p))
+	}
+}
+
+// TestISHistogramTotal: the histogram counts every key exactly once.
+func TestISHistogramTotal(t *testing.T) {
+	k := NewIS("t", 10000, 3)
+	k.RunSerial()
+	var total int32
+	for _, c := range k.buff {
+		total += c
+	}
+	if total != 10000 {
+		t.Errorf("histogram total %d, want 10000", total)
+	}
+}
+
+// TestSyrkTriangular: iteration cost grows with the row index
+// (triangular imbalance that static scheduling mishandles).
+func TestSyrkTriangular(t *testing.T) {
+	k := NewSyrk("t", 64, 16)
+	iters := k.Iters()
+	if iters[0].Total() >= iters[63].Total() {
+		t.Error("row cost should grow with i")
+	}
+}

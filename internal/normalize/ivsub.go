@@ -1,0 +1,244 @@
+package normalize
+
+import (
+	"repro/internal/cminus"
+)
+
+// SubstituteIVs performs classical induction-variable substitution on an
+// already-normalized function: inside each canonical loop, a scalar v with
+// exactly one assignment of the form v = v + c (c loop-invariant) at the
+// loop body's top level is replaced by its closed form — uses before the
+// increment become v + c*i, uses after become v + c*(i+1) — the increment
+// is removed, and v's final value v = v + c*N is assigned after the loop.
+//
+// Cetus applies this transformation before the subscripted-subscript
+// analysis; here it is a standalone pass because the recurrence analysis
+// handles unconditional recurrences directly, while this pass additionally
+// lets the *classical* dependence test succeed on subscripts like a[k]
+// with k = k + 2 per iteration.
+func SubstituteIVs(fn *cminus.FuncDecl) *cminus.FuncDecl {
+	out := &cminus.FuncDecl{RetType: fn.RetType, Name: fn.Name, Params: fn.Params, P: fn.P}
+	out.Body = ivBlock(cminus.CloneBlock(fn.Body))
+	return out
+}
+
+func ivBlock(blk *cminus.Block) *cminus.Block {
+	if blk == nil {
+		return nil
+	}
+	res := &cminus.Block{P: blk.P}
+	for _, s := range blk.Stmts {
+		res.Stmts = append(res.Stmts, ivStmt(s)...)
+	}
+	return res
+}
+
+func ivStmt(s cminus.Stmt) []cminus.Stmt {
+	switch x := s.(type) {
+	case *cminus.ForStmt:
+		return ivLoop(x)
+	case *cminus.IfStmt:
+		x.Then = ivBlock(x.Then)
+		if els, ok := x.Else.(*cminus.Block); ok {
+			x.Else = ivBlock(els)
+		}
+		return []cminus.Stmt{x}
+	case *cminus.WhileStmt:
+		x.Body = ivBlock(x.Body)
+		return []cminus.Stmt{x}
+	case *cminus.Block:
+		return []cminus.Stmt{ivBlock(x)}
+	}
+	return []cminus.Stmt{s}
+}
+
+// ivLoop rewrites one canonical loop; inner loops are processed first.
+func ivLoop(loop *cminus.ForStmt) []cminus.Stmt {
+	loop.Body = ivBlock(loop.Body)
+
+	ivar, lb, okInit := splitInit(loop.Init)
+	if !okInit || !isZero(lb) {
+		return []cminus.Stmt{loop}
+	}
+	ub, inclusive, okCond := splitCond(loop.Cond, ivar)
+	if !okCond || inclusive || !postIsIncrementByOne(loop.Post, ivar) {
+		return []cminus.Stmt{loop}
+	}
+
+	assigned := assignedScalars(loop.Body)
+	out := []cminus.Stmt{loop}
+	for {
+		idx, v, c := findIVIncrement(loop.Body, ivar, assigned)
+		if idx < 0 {
+			break
+		}
+		// Uses before the increment: v + c*ivar; after: v + c*(ivar+1).
+		before := closedForm(v, c, &cminus.Ident{Name: ivar})
+		after := closedForm(v, c, &cminus.BinaryExpr{Op: "+", X: &cminus.Ident{Name: ivar}, Y: &cminus.IntLit{Val: 1}})
+		for i, st := range loop.Body.Stmts {
+			if i == idx {
+				continue
+			}
+			repl := before
+			if i > idx {
+				repl = after
+			}
+			substituteUses(st, v, repl)
+		}
+		// Remove the increment and emit the final value after the loop.
+		loop.Body.Stmts = append(loop.Body.Stmts[:idx], loop.Body.Stmts[idx+1:]...)
+		out = append(out, &cminus.AssignStmt{
+			LHS: &cminus.Ident{Name: v},
+			RHS: closedForm(v, c, cminus.CloneExpr(ub)),
+		})
+		delete(assigned, v)
+	}
+	return out
+}
+
+// findIVIncrement locates a top-level statement v = v + c with c invariant
+// and v assigned nowhere else in the body.
+func findIVIncrement(body *cminus.Block, ivar string, assigned map[string]int) (int, string, cminus.Expr) {
+	for i, st := range body.Stmts {
+		as, ok := st.(*cminus.AssignStmt)
+		if !ok || as.Op != "" {
+			continue
+		}
+		id, ok := as.LHS.(*cminus.Ident)
+		if !ok || id.Name == ivar || assigned[id.Name] != 1 {
+			continue
+		}
+		b, ok := as.RHS.(*cminus.BinaryExpr)
+		if !ok || b.Op != "+" {
+			continue
+		}
+		var c cminus.Expr
+		if l, isID := b.X.(*cminus.Ident); isID && l.Name == id.Name {
+			c = b.Y
+		} else if r, isID := b.Y.(*cminus.Ident); isID && r.Name == id.Name {
+			c = b.X
+		} else {
+			continue
+		}
+		if !isInvariantExpr(c, ivar, assigned) {
+			continue
+		}
+		return i, id.Name, c
+	}
+	return -1, "", nil
+}
+
+// closedForm builds v + c*iter (folding c == 1).
+func closedForm(v string, c cminus.Expr, iter cminus.Expr) cminus.Expr {
+	var step cminus.Expr
+	if lit, ok := c.(*cminus.IntLit); ok && lit.Val == 1 {
+		step = iter
+	} else {
+		step = &cminus.BinaryExpr{Op: "*", X: cminus.CloneExpr(c), Y: iter}
+	}
+	return &cminus.BinaryExpr{Op: "+", X: &cminus.Ident{Name: v}, Y: step}
+}
+
+// assignedScalars counts scalar assignments in a block (including nested
+// statements).
+func assignedScalars(blk *cminus.Block) map[string]int {
+	out := map[string]int{}
+	cminus.WalkStmts(blk, func(s cminus.Stmt) bool {
+		if as, ok := s.(*cminus.AssignStmt); ok {
+			if id, isID := as.LHS.(*cminus.Ident); isID {
+				out[id.Name]++
+			}
+		}
+		if f, ok := s.(*cminus.ForStmt); ok {
+			if v, _, okv := splitInit(f.Init); okv {
+				out[v]++
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isInvariantExpr: no assigned scalar, no loop index, no array reads.
+func isInvariantExpr(e cminus.Expr, ivar string, assigned map[string]int) bool {
+	ok := true
+	cminus.WalkExprs(e, func(x cminus.Expr) bool {
+		switch t := x.(type) {
+		case *cminus.Ident:
+			if t.Name == ivar || assigned[t.Name] > 0 {
+				ok = false
+			}
+		case *cminus.IndexExpr, *cminus.CallExpr:
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// substituteUses replaces reads of v inside a statement subtree with repl
+// (assignment targets are left alone; v has no other assignments by
+// construction).
+func substituteUses(s cminus.Stmt, v string, repl cminus.Expr) {
+	var substE func(e cminus.Expr) cminus.Expr
+	substE = func(e cminus.Expr) cminus.Expr {
+		switch x := e.(type) {
+		case nil:
+			return nil
+		case *cminus.Ident:
+			if x.Name == v {
+				return cminus.CloneExpr(repl)
+			}
+			return x
+		case *cminus.BinaryExpr:
+			x.X = substE(x.X)
+			x.Y = substE(x.Y)
+			return x
+		case *cminus.UnaryExpr:
+			x.X = substE(x.X)
+			return x
+		case *cminus.CondExpr:
+			x.C = substE(x.C)
+			x.T = substE(x.T)
+			x.F = substE(x.F)
+			return x
+		case *cminus.IndexExpr:
+			x.Arr = substE(x.Arr)
+			x.Index = substE(x.Index)
+			return x
+		case *cminus.CallExpr:
+			for i := range x.Args {
+				x.Args[i] = substE(x.Args[i])
+			}
+			return x
+		case *cminus.CastExpr:
+			x.X = substE(x.X)
+			return x
+		}
+		return e
+	}
+	cminus.WalkStmts(s, func(st cminus.Stmt) bool {
+		switch x := st.(type) {
+		case *cminus.AssignStmt:
+			x.RHS = substE(x.RHS)
+			// Subscripts on the LHS are reads.
+			if ix, ok := x.LHS.(*cminus.IndexExpr); ok {
+				x.LHS = substE(ix)
+			}
+		case *cminus.ExprStmt:
+			x.X = substE(x.X)
+		case *cminus.IfStmt:
+			x.Cond = substE(x.Cond)
+		case *cminus.ForStmt:
+			if a, ok := x.Init.(*cminus.AssignStmt); ok {
+				a.RHS = substE(a.RHS)
+			}
+			x.Cond = substE(x.Cond)
+		case *cminus.WhileStmt:
+			x.Cond = substE(x.Cond)
+		case *cminus.ReturnStmt:
+			x.X = substE(x.X)
+		}
+		return true
+	})
+}

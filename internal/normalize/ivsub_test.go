@@ -1,0 +1,140 @@
+package normalize_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cminus"
+	"repro/internal/interp"
+	"repro/internal/normalize"
+	"repro/internal/parallelize"
+	"repro/internal/phase2"
+)
+
+const ivSrc = `
+void pack(int n, int *a, double *b, double *dst) {
+    int i, k;
+    k = 0;
+    for (i = 0; i < n; i++) {
+        dst[k] = b[i] * 2.0;
+        dst[k+1] = b[i] * 3.0;
+        k = k + 2;
+    }
+    a[0] = k;
+}
+`
+
+func normalized(t *testing.T, src, fn string) *cminus.FuncDecl {
+	t.Helper()
+	prog := cminus.MustParse(src)
+	return normalize.Func(prog.Func(fn)).Func
+}
+
+func TestIVSubstitutionRewrites(t *testing.T) {
+	fn := normalize.SubstituteIVs(normalized(t, ivSrc, "pack"))
+	text := cminus.PrintStmt(fn.Body)
+	if !strings.Contains(text, "dst[k + 2 * i]") {
+		t.Errorf("use before increment not substituted:\n%s", text)
+	}
+	if strings.Contains(text, "k = k + 2;") {
+		t.Errorf("increment should be removed:\n%s", text)
+	}
+	// Final value after the loop.
+	if !strings.Contains(text, "k = k + 2 * n") {
+		t.Errorf("final value missing:\n%s", text)
+	}
+}
+
+func TestIVSubstitutionSemantics(t *testing.T) {
+	run := func(fn *cminus.FuncDecl) (int64, float64) {
+		prog := &cminus.Program{Funcs: []*cminus.FuncDecl{fn}}
+		m, err := interp.New(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int64(40)
+		a := interp.NewIntArray("a", 1)
+		b := interp.NewFloatArray("b", n)
+		for i := range b.Flts {
+			b.Flts[i] = float64(i) * 0.5
+		}
+		dst := interp.NewFloatArray("dst", 2*n)
+		if err := m.Call("pack", n, a, b, dst); err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range dst.Flts {
+			sum += v
+		}
+		return a.Ints[0], sum
+	}
+	orig := normalized(t, ivSrc, "pack")
+	k1, s1 := run(orig)
+	k2, s2 := run(normalize.SubstituteIVs(orig))
+	if k1 != k2 || s1 != s2 {
+		t.Errorf("semantics changed: (%d,%g) vs (%d,%g)", k1, s1, k2, s2)
+	}
+	if k1 != 80 {
+		t.Errorf("final k = %d, want 80", k1)
+	}
+}
+
+// TestIVSubstitutionEnablesClassicalParallelization: before substitution
+// the k recurrence blocks the loop; after substitution the classical test
+// proves dst accesses disjoint (stride 2 > residual width 1).
+func TestIVSubstitutionEnablesClassicalParallelization(t *testing.T) {
+	orig := cminus.MustParse(ivSrc)
+	plan := parallelize.Run(orig, phase2.LevelClassical, nil)
+	if len(plan.Funcs["pack"].ChosenLabels()) != 0 {
+		t.Fatalf("without IV substitution the loop must stay serial:\n%s", plan.Summary())
+	}
+
+	subst := normalize.SubstituteIVs(normalize.Func(orig.Func("pack")).Func)
+	prog := &cminus.Program{Funcs: []*cminus.FuncDecl{subst}}
+	plan = parallelize.Run(prog, phase2.LevelClassical, nil)
+	if len(plan.Funcs["pack"].ChosenLabels()) == 0 {
+		t.Errorf("after IV substitution the loop should parallelize:\n%s", plan.Summary())
+	}
+}
+
+// TestIVSubstitutionSkipsConditionalIncrements: the intermittent counter
+// pattern must not be substituted (it is not a closed form).
+func TestIVSubstitutionSkipsConditionalIncrements(t *testing.T) {
+	src := `
+void f(int n, int *input, int *a) {
+    int i, m;
+    m = 0;
+    for (i = 0; i < n; i++) {
+        if (input[i] > 0) {
+            a[m] = i;
+            m = m + 1;
+        }
+    }
+}
+`
+	fn := normalize.SubstituteIVs(normalized(t, src, "f"))
+	text := cminus.PrintStmt(fn.Body)
+	if !strings.Contains(text, "m = m + 1") {
+		t.Errorf("conditional increment must survive:\n%s", text)
+	}
+}
+
+// TestIVSubstitutionSkipsMultipleAssignments.
+func TestIVSubstitutionSkipsMultipleAssignments(t *testing.T) {
+	src := `
+void f(int n, int *a) {
+    int i, k;
+    k = 0;
+    for (i = 0; i < n; i++) {
+        k = k + 1;
+        a[i] = k;
+        k = a[i];
+    }
+}
+`
+	fn := normalize.SubstituteIVs(normalized(t, src, "f"))
+	text := cminus.PrintStmt(fn.Body)
+	if !strings.Contains(text, "k = k + 1") {
+		t.Errorf("multiply-assigned scalar must survive:\n%s", text)
+	}
+}

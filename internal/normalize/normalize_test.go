@@ -1,0 +1,238 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cminus"
+)
+
+func firstLoop(t *testing.T, body *cminus.Block) *cminus.ForStmt {
+	t.Helper()
+	var loop *cminus.ForStmt
+	cminus.WalkStmts(body, func(s cminus.Stmt) bool {
+		if f, ok := s.(*cminus.ForStmt); ok && loop == nil {
+			loop = f
+		}
+		return true
+	})
+	if loop == nil {
+		t.Fatal("no loop found")
+	}
+	return loop
+}
+
+// TestFig4Normalization reproduces the paper's Figure 4: the loop
+//
+//	for(j=0; j<npts; j++) if((xdos[j]-t) < width) ind[m++] = j;
+//
+// must normalize to
+//
+//	for(j=0; j<npts; j=j+1) if(...) { _temp_0 = m; m = m+1; ind[_temp_0] = j; }
+func TestFig4Normalization(t *testing.T) {
+	src := `
+void f(int npts, double *xdos, double t, double width, int *ind) {
+    int m = 0;
+    int j;
+    for (j = 0; j < npts; j++) {
+        if ((xdos[j] - t) < width)
+            ind[m++] = j;
+    }
+}
+`
+	prog := cminus.MustParse(src)
+	res := Func(prog.Func("f"))
+	loop := firstLoop(t, res.Func.Body)
+	meta := res.Loops[loop.Label]
+	if !meta.Eligible {
+		t.Fatalf("loop should be eligible: %s", meta.Reason)
+	}
+	if meta.Var != "j" {
+		t.Errorf("loop var: %s", meta.Var)
+	}
+	if cminus.PrintExpr(meta.Count) != "npts" {
+		t.Errorf("count: %s", cminus.PrintExpr(meta.Count))
+	}
+	ifs, ok := loop.Body.Stmts[0].(*cminus.IfStmt)
+	if !ok {
+		t.Fatalf("expected if, got %T", loop.Body.Stmts[0])
+	}
+	// The if body must be: decl _temp_0; _temp_0 = m; m = m + 1; ind[_temp_0] = j;
+	got := cminus.PrintStmt(ifs.Then)
+	for _, want := range []string{"_temp_0 = m", "m = m + 1", "ind[_temp_0] = j"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("normalized if body missing %q:\n%s", want, got)
+		}
+	}
+	// Order: _temp_0 = m must come before m = m + 1.
+	if strings.Index(got, "_temp_0 = m") > strings.Index(got, "m = m + 1") {
+		t.Errorf("temp save must precede increment:\n%s", got)
+	}
+}
+
+func TestCompoundAssignExpansion(t *testing.T) {
+	src := `void f(int n, double *y, int *ind, int i) { y[ind[i]] += 2.0; }`
+	prog := cminus.MustParse(src)
+	res := Func(prog.Func("f"))
+	got := cminus.PrintStmt(res.Func.Body)
+	if !strings.Contains(got, "y[ind[i]] = y[ind[i]] + 2.0") {
+		t.Errorf("compound assign not expanded:\n%s", got)
+	}
+}
+
+func TestLowerBoundShift(t *testing.T) {
+	src := `void f(int n, int *a) { int i; for (i = 1; i < n; i++) { a[i] = a[i-1] + 1; } }`
+	prog := cminus.MustParse(src)
+	res := Func(prog.Func("f"))
+	loop := firstLoop(t, res.Func.Body)
+	meta := res.Loops[loop.Label]
+	if !meta.Eligible {
+		t.Fatalf("ineligible: %s", meta.Reason)
+	}
+	if cminus.PrintExpr(meta.Count) != "n - 1" {
+		t.Errorf("count: %s", cminus.PrintExpr(meta.Count))
+	}
+	got := cminus.PrintStmt(loop)
+	// Body references must be shifted: a[i+1] = a[i+1-1] + 1.
+	if !strings.Contains(got, "a[i + 1]") {
+		t.Errorf("index not shifted:\n%s", got)
+	}
+	if !strings.Contains(got, "i = 0; i < n - 1") {
+		t.Errorf("iteration space not normalized:\n%s", got)
+	}
+}
+
+func TestInclusiveBound(t *testing.T) {
+	src := `void f(int n, int *a) { int i; for (i = 0; i <= n; i++) { a[i] = 0; } }`
+	prog := cminus.MustParse(src)
+	res := Func(prog.Func("f"))
+	loop := firstLoop(t, res.Func.Body)
+	meta := res.Loops[loop.Label]
+	if cminus.PrintExpr(meta.Count) != "n + 1" {
+		t.Errorf("count: %s", cminus.PrintExpr(meta.Count))
+	}
+}
+
+func TestIneligibleLoops(t *testing.T) {
+	cases := []struct {
+		src    string
+		reason string
+	}{
+		{`void f(int n, int *a) { int i; for (i = 0; i < n; i += 2) { a[i] = 0; } }`, "stride"},
+		{`void f(int n, int *a) { int i; for (i = 0; i < n; i++) { if (a[i]) break; } }`, "break"},
+		{`void f(int n, int *a) { int i; for (i = 0; i < n; i++) { printf("x"); } }`, "call"},
+		{`void f(int n, int *a) { int i; for (i = n; i > 0; i--) { a[i] = 0; } }`, "stride"},
+	}
+	for _, c := range cases {
+		prog := cminus.MustParse(c.src)
+		res := Func(prog.Func("f"))
+		var meta *LoopMeta
+		for _, m := range res.Loops {
+			meta = m
+		}
+		if meta == nil {
+			t.Fatalf("no loop meta for %q", c.src)
+		}
+		if meta.Eligible {
+			t.Errorf("loop should be ineligible (%s): %s", c.reason, c.src)
+		}
+	}
+}
+
+func TestNestedLoopBreakDoesNotPoisonOuter(t *testing.T) {
+	src := `
+void f(int n, int m, int *a) {
+    int i, j;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < m; j++) {
+            if (a[j]) break;
+        }
+        a[i] = 0;
+    }
+}
+`
+	prog := cminus.MustParse(src)
+	res := Func(prog.Func("f"))
+	outer := res.Loops["L1"]
+	inner := res.Loops["L2"]
+	if !outer.Eligible {
+		t.Errorf("outer loop should remain eligible, got: %s", outer.Reason)
+	}
+	if inner.Eligible {
+		t.Errorf("inner loop with break should be ineligible")
+	}
+}
+
+func TestDeclInitSplit(t *testing.T) {
+	src := `void f(void) { int x = 5, y = x + 1; }`
+	prog := cminus.MustParse(src)
+	res := Func(prog.Func("f"))
+	got := cminus.PrintStmt(res.Func.Body)
+	if !strings.Contains(got, "x = 5") || !strings.Contains(got, "y = x + 1") {
+		t.Errorf("decl initializers not split:\n%s", got)
+	}
+}
+
+func TestPrefixIncrementInLoop(t *testing.T) {
+	src := `void f(int n, int *col_ptr) { int holder = 1; int i; for (i = 0; i < n; ++i) { col_ptr[++holder] = i; } }`
+	prog := cminus.MustParse(src)
+	res := Func(prog.Func("f"))
+	loop := firstLoop(t, res.Func.Body)
+	meta := res.Loops[loop.Label]
+	if !meta.Eligible {
+		t.Fatalf("prefix ++ in post should be... actually post is ++i: %s", meta.Reason)
+	}
+	got := cminus.PrintStmt(loop)
+	if !strings.Contains(got, "holder = holder + 1") || !strings.Contains(got, "col_ptr[holder] = i") {
+		t.Errorf("prefix ++ hoist:\n%s", got)
+	}
+}
+
+func TestWhileBodyNormalized(t *testing.T) {
+	src := `void f(int n) { int i = 0; while (i < n) { i++; } }`
+	prog := cminus.MustParse(src)
+	res := Func(prog.Func("f"))
+	got := cminus.PrintStmt(res.Func.Body)
+	if !strings.Contains(got, "i = i + 1") {
+		t.Errorf("while body not normalized:\n%s", got)
+	}
+}
+
+func TestIdempotent(t *testing.T) {
+	src := `
+void f(int npts, double *xdos, double t, double width, int *ind) {
+    int m = 0;
+    int j;
+    for (j = 0; j < npts; j++) {
+        if ((xdos[j] - t) < width)
+            ind[m++] = j;
+    }
+}
+`
+	prog := cminus.MustParse(src)
+	res1 := Func(prog.Func("f"))
+	res2 := Func(res1.Func)
+	got1 := cminus.PrintStmt(res1.Func.Body)
+	got2 := cminus.PrintStmt(res2.Func.Body)
+	if got1 != got2 {
+		t.Errorf("normalization not idempotent:\n%s\nvs\n%s", got1, got2)
+	}
+}
+
+// TestDeclInitLoop: for (int i = 0; ...) loops normalize like
+// assignment-init loops.
+func TestDeclInitLoop(t *testing.T) {
+	src := `void f(int n, int *a) { for (int i = 0; i < n; i++) { a[i] = i; } }`
+	prog := cminus.MustParse(src)
+	res := Func(prog.Func("f"))
+	var meta *LoopMeta
+	for _, m := range res.Loops {
+		meta = m
+	}
+	if meta == nil || !meta.Eligible {
+		t.Fatalf("decl-init loop should be eligible: %+v", meta)
+	}
+	if meta.Var != "i" || cminus.PrintExpr(meta.Count) != "n" {
+		t.Errorf("meta: %+v", meta)
+	}
+}

@@ -1,0 +1,275 @@
+// Package parallelize is the top-level automatic parallelizer driver (the
+// role Cetus plays in the paper): it runs the subscript-array analysis at
+// a chosen capability level over every function, dependence-tests each
+// loop nest outermost-first, selects the outermost parallelizable loop of
+// every nest, and annotates the program with OpenMP-style pragmas
+// (including run-time checks as if-clauses, and private/reduction lists).
+package parallelize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cminus"
+	"repro/internal/depend"
+	"repro/internal/phase2"
+	"repro/internal/property"
+	"repro/internal/ranges"
+)
+
+// LoopPlan is the parallelization decision for one loop.
+type LoopPlan struct {
+	Label    string
+	Decision *depend.Decision
+	// Chosen marks loops actually parallelized (the outermost
+	// parallelizable loop of each nest).
+	Chosen bool
+	// Depth is the loop's nesting depth within its function (1 = outermost).
+	Depth int
+}
+
+// FuncPlan is the plan for one function.
+type FuncPlan struct {
+	Name string
+	// Analysis is the Phase-1/2 result at the configured level.
+	Analysis *phase2.FuncAnalysis
+	// Loops maps loop labels to decisions.
+	Loops map[string]*LoopPlan
+	// Annotated is the normalized function with pragmas on chosen loops.
+	Annotated *cminus.FuncDecl
+}
+
+// Plan is a whole-program parallelization plan.
+type Plan struct {
+	Level phase2.Level
+	// Props is the merged property database across all functions.
+	Props *property.DB
+	Funcs map[string]*FuncPlan
+	// source is the original program the plan was built from.
+	source *cminus.Program
+}
+
+// Program returns the normalized, annotated program the plan refers to:
+// loop labels, privatization lists and canonical (0-based, stride-1) loop
+// forms in this program match the plan's decisions, so it is the right
+// input for the interpreter and for display.
+func (p *Plan) Program() *cminus.Program {
+	out := &cminus.Program{Globals: p.source.Globals}
+	for _, fn := range p.source.Funcs {
+		if fp := p.Funcs[fn.Name]; fp != nil && fp.Annotated != nil {
+			out.Funcs = append(out.Funcs, fp.Annotated)
+			continue
+		}
+		out.Funcs = append(out.Funcs, fn)
+	}
+	return out
+}
+
+// Options configures the parallelizer.
+type Options struct {
+	// Assume supplies symbol ranges (e.g. sizes known positive).
+	Assume *ranges.Dict
+	// Ablate toggles individual analysis capabilities (ablation studies).
+	Ablate phase2.Opts
+}
+
+// Run parallelizes a program at the given analysis level.
+func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
+	if opts == nil {
+		opts = &Options{}
+	}
+	dict := opts.Assume
+	if dict == nil {
+		dict = ranges.New()
+	}
+	plan := &Plan{Level: level, Props: property.NewDB(), Funcs: map[string]*FuncPlan{}, source: prog}
+
+	// Pass 1: array analysis over every function; merge properties (the
+	// paper inline-expands so filling loops and using loops share scope —
+	// sharing the database plays the same role).
+	analyses := map[string]*phase2.FuncAnalysis{}
+	for _, fn := range prog.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		fa := phase2.AnalyzeFuncOpts(fn, level, dict.Push(), opts.Ablate)
+		analyses[fn.Name] = fa
+		for _, arr := range fa.Props.Arrays() {
+			for _, p := range fa.Props.Lookup(arr) {
+				plan.Props.Add(p)
+			}
+		}
+	}
+
+	// Pass 2: dependence testing, outermost first.
+	tester := depend.NewTester(plan.Props, dict)
+	for _, fn := range prog.Funcs {
+		fa := analyses[fn.Name]
+		if fa == nil {
+			continue
+		}
+		fp := &FuncPlan{Name: fn.Name, Analysis: fa, Loops: map[string]*LoopPlan{}}
+		plan.Funcs[fn.Name] = fp
+		for _, top := range topLoops(fa.Func.Body) {
+			planNest(tester, fa, fp, top, 1)
+		}
+		fp.Annotated = annotate(fa.Func, fp)
+	}
+	return plan
+}
+
+// planNest decides one loop; when it is not parallelizable, descends into
+// the nested loops (the classical behaviour the paper observes: inner
+// loops get parallelized, paying fork-join per outer iteration).
+func planNest(tester *depend.Tester, fa *phase2.FuncAnalysis, fp *FuncPlan, loop *cminus.ForStmt, depth int) {
+	d := tester.Analyze(loop, fa.Norm.Loops[loop.Label])
+	lp := &LoopPlan{Label: loop.Label, Decision: d, Depth: depth}
+	fp.Loops[loop.Label] = lp
+	if d.Parallel {
+		lp.Chosen = true
+		return
+	}
+	for _, inner := range topLoops(loop.Body) {
+		planNest(tester, fa, fp, inner, depth+1)
+	}
+}
+
+// topLoops returns the loops immediately inside a block.
+func topLoops(blk *cminus.Block) []*cminus.ForStmt {
+	var out []*cminus.ForStmt
+	var walkS func(s cminus.Stmt)
+	walkS = func(s cminus.Stmt) {
+		switch x := s.(type) {
+		case *cminus.ForStmt:
+			out = append(out, x)
+		case *cminus.Block:
+			for _, st := range x.Stmts {
+				walkS(st)
+			}
+		case *cminus.IfStmt:
+			walkS(x.Then)
+			if x.Else != nil {
+				walkS(x.Else)
+			}
+		}
+	}
+	if blk == nil {
+		return nil
+	}
+	for _, s := range blk.Stmts {
+		walkS(s)
+	}
+	return out
+}
+
+// annotate returns a copy of the function with OpenMP pragmas attached to
+// the chosen loops.
+func annotate(fn *cminus.FuncDecl, fp *FuncPlan) *cminus.FuncDecl {
+	cp := &cminus.FuncDecl{RetType: fn.RetType, Name: fn.Name, Params: fn.Params, P: fn.P}
+	cp.Body = cminus.CloneBlock(fn.Body)
+	cminus.WalkStmts(cp.Body, func(s cminus.Stmt) bool {
+		loop, ok := s.(*cminus.ForStmt)
+		if !ok {
+			return true
+		}
+		lp := fp.Loops[loop.Label]
+		if lp == nil || !lp.Chosen {
+			return true
+		}
+		loop.Pragmas = []string{PragmaFor(lp.Decision)}
+		return true
+	})
+	return cp
+}
+
+// PragmaFor renders the OpenMP directive for a positive decision.
+func PragmaFor(d *depend.Decision) string {
+	var b strings.Builder
+	b.WriteString("#pragma omp parallel for")
+	if chk := d.CheckString(); chk != "" {
+		fmt.Fprintf(&b, " if(%s)", chk)
+	}
+	if len(d.Privates) > 0 {
+		fmt.Fprintf(&b, " private(%s)", strings.Join(d.Privates, ", "))
+	}
+	if len(d.Reductions) > 0 {
+		ops := map[string][]string{}
+		for v, op := range d.Reductions {
+			ops[op] = append(ops[op], v)
+		}
+		opKeys := make([]string, 0, len(ops))
+		for op := range ops {
+			opKeys = append(opKeys, op)
+		}
+		sort.Strings(opKeys)
+		for _, op := range opKeys {
+			vars := ops[op]
+			sort.Strings(vars)
+			fmt.Fprintf(&b, " reduction(%s:%s)", op, strings.Join(vars, ", "))
+		}
+	}
+	return b.String()
+}
+
+// ChosenLabels returns the labels of loops selected for parallel
+// execution in a function, sorted.
+func (fp *FuncPlan) ChosenLabels() []string {
+	var out []string
+	for lbl, lp := range fp.Loops {
+		if lp.Chosen {
+			out = append(out, lbl)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParallelAt reports whether the plan parallelizes the loop with the
+// given label.
+func (fp *FuncPlan) ParallelAt(label string) bool {
+	lp := fp.Loops[label]
+	return lp != nil && lp.Chosen
+}
+
+// Summary renders a human-readable report of the plan.
+func (p *Plan) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "analysis level: %s\n", p.Level)
+	if arrays := p.Props.Arrays(); len(arrays) > 0 {
+		b.WriteString("subscript array properties:\n")
+		for _, a := range arrays {
+			for _, pr := range p.Props.Lookup(a) {
+				fmt.Fprintf(&b, "  %s\n", pr)
+			}
+		}
+	}
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fp := p.Funcs[n]
+		labels := make([]string, 0, len(fp.Loops))
+		for lbl := range fp.Loops {
+			labels = append(labels, lbl)
+		}
+		sort.Strings(labels)
+		for _, lbl := range labels {
+			lp := fp.Loops[lbl]
+			status := "serial"
+			detail := lp.Decision.Reason
+			if lp.Chosen {
+				status = "PARALLEL"
+				detail = strings.TrimPrefix(PragmaFor(lp.Decision), "#pragma omp ")
+			}
+			fmt.Fprintf(&b, "%s %s (depth %d): %s", n, lbl, lp.Depth, status)
+			if detail != "" {
+				fmt.Fprintf(&b, " — %s", detail)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,365 @@
+package phase2
+
+import (
+	"repro/internal/cminus"
+	"repro/internal/normalize"
+	"repro/internal/phase1"
+	"repro/internal/property"
+	"repro/internal/ranges"
+	"repro/internal/symbolic"
+)
+
+// FuncAnalysis is the result of running the full two-phase analysis on one
+// function: the normalized body, per-loop Phase-1 SVDs and Phase-2
+// aggregates, and the array property database with loop-entry values
+// substituted from the enclosing straight-line code.
+type FuncAnalysis struct {
+	Level  Level
+	Func   *cminus.FuncDecl
+	Norm   *normalize.Result
+	Loops  map[string]*LoopAggregate
+	Phase1 map[string]*phase1.Result
+	Props  *property.DB
+	// Failures records per-loop reasons why analysis gave up.
+	Failures map[string]string
+}
+
+// AnalyzeFunc normalizes fn and analyzes every eligible loop nest inside
+// out. assume optionally supplies ranges for symbolic constants (e.g.
+// problem sizes known positive); nil means no assumptions.
+func AnalyzeFunc(fn *cminus.FuncDecl, level Level, assume *ranges.Dict) *FuncAnalysis {
+	return AnalyzeFuncOpts(fn, level, assume, Opts{})
+}
+
+// AnalyzeFuncOpts is AnalyzeFunc with ablation toggles.
+func AnalyzeFuncOpts(fn *cminus.FuncDecl, level Level, assume *ranges.Dict, opts Opts) *FuncAnalysis {
+	if assume == nil {
+		assume = ranges.New()
+	}
+	norm := normalize.Func(fn)
+	fa := &FuncAnalysis{
+		Level:    level,
+		Func:     norm.Func,
+		Norm:     norm,
+		Loops:    map[string]*LoopAggregate{},
+		Phase1:   map[string]*phase1.Result{},
+		Props:    property.NewDB(),
+		Failures: map[string]string{},
+	}
+	w := &walker{
+		fa:        fa,
+		level:     level,
+		opts:      opts,
+		dict:      assume,
+		outerVals: map[string]symbolic.Expr{},
+		arrayPre:  map[string]map[int64]symbolic.Expr{},
+	}
+	if norm.Func.Body != nil {
+		w.walkBlock(norm.Func.Body)
+	}
+	return fa
+}
+
+// walker performs the top-level statement walk that supplies loop-entry
+// values (Λ substitution) and collects properties.
+type walker struct {
+	fa    *FuncAnalysis
+	level Level
+	opts  Opts
+	dict  *ranges.Dict
+	// outerVals maps scalars to their known values in the straight-line
+	// code before the current point.
+	outerVals map[string]symbolic.Expr
+	// arrayPre records pre-loop constant-subscript array writes
+	// (col_ptr[0] = 0) used for monotone-prefix seam extension.
+	arrayPre map[string]map[int64]symbolic.Expr
+}
+
+func (w *walker) walkBlock(blk *cminus.Block) {
+	for _, s := range blk.Stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *walker) walkStmt(s cminus.Stmt) {
+	switch x := s.(type) {
+	case *cminus.DeclStmt:
+		// Normalization split initializers into assignments.
+	case *cminus.AssignStmt:
+		if id, ok := x.LHS.(*cminus.Ident); ok {
+			val := w.convertOuter(x.RHS)
+			if symbolic.IsBottom(val) {
+				delete(w.outerVals, id.Name)
+			} else {
+				w.outerVals[id.Name] = val
+				w.dict.SetPoint(id.Name, val)
+			}
+			return
+		}
+		if name, idx, ok := cminus.ArrayBase(x.LHS); ok && len(idx) == 1 {
+			if lit, isLit := idx[0].(*cminus.IntLit); isLit {
+				val := w.convertOuter(x.RHS)
+				if !symbolic.IsBottom(val) {
+					if w.arrayPre[name] == nil {
+						w.arrayPre[name] = map[int64]symbolic.Expr{}
+					}
+					w.arrayPre[name][lit.Val] = val
+				}
+			}
+		}
+	case *cminus.ForStmt:
+		collapsed := w.analyzeLoop(x)
+		w.afterLoop(x, collapsed)
+	case *cminus.WhileStmt:
+		scalars, _ := phase1.AssignedVars(x.Body, nil)
+		for _, v := range scalars {
+			delete(w.outerVals, v)
+			w.dict.Forget(v)
+		}
+	case *cminus.Block:
+		w.walkBlock(x)
+	case *cminus.IfStmt:
+		// Conservative: values assigned under the if become unknown.
+		kill := func(b *cminus.Block) {
+			if b == nil {
+				return
+			}
+			scalars, _ := phase1.AssignedVars(b, nil)
+			for _, v := range scalars {
+				delete(w.outerVals, v)
+				w.dict.Forget(v)
+			}
+		}
+		kill(x.Then)
+		if eb, ok := x.Else.(*cminus.Block); ok {
+			kill(eb)
+		}
+	}
+}
+
+// afterLoop records the loop's properties (with Λ substitution and seam
+// extension) and updates the straight-line value map from the collapse.
+func (w *walker) afterLoop(loop *cminus.ForStmt, collapsed *phase1.CollapsedLoop) {
+	agg := w.fa.Loops[loop.Label]
+	if agg != nil {
+		sub := w.entrySubst()
+		for _, p := range agg.Props {
+			w.fa.Props.Add(w.finalizeProperty(p, sub))
+		}
+	}
+	if collapsed == nil || collapsed.Failed {
+		if collapsed != nil {
+			for _, v := range collapsed.Assigned {
+				delete(w.outerVals, v)
+				w.dict.Forget(v)
+			}
+		} else {
+			scalars, _ := phase1.AssignedVars(loop.Body, nil)
+			for _, v := range scalars {
+				delete(w.outerVals, v)
+				w.dict.Forget(v)
+			}
+		}
+		return
+	}
+	sub := w.entrySubst()
+	for v, r := range collapsed.Scalars {
+		val := symbolic.Substitute(r, sub)
+		if symbolic.IsBottom(val) || symbolic.ContainsKind(val, symbolic.KBigLambda) {
+			delete(w.outerVals, v)
+			w.dict.Forget(v)
+			continue
+		}
+		w.outerVals[v] = val
+		lo, hi := symbolic.Bounds(val)
+		w.dict.Set(v, lo, hi)
+	}
+	// Arrays written by the loop invalidate recorded pre-writes.
+	for arr := range collapsed.Arrays {
+		delete(w.arrayPre, arr)
+	}
+}
+
+// entrySubst maps Λ_v markers to the current straight-line values.
+func (w *walker) entrySubst() symbolic.Subst {
+	sub := symbolic.Subst{}
+	for v, val := range w.outerVals {
+		sub[symbolic.BigLambdaKey(v)] = val
+	}
+	return sub
+}
+
+// finalizeProperty substitutes loop-entry values into a Λ-relative
+// property and applies the monotone-prefix seam extension: a pre-loop
+// write arr[c0] = v0 with c0+1 == IndexLo and v0 ≤ the section's smallest
+// value extends the monotonic section to include c0.
+func (w *walker) finalizeProperty(p *property.ArrayProperty, sub symbolic.Subst) *property.ArrayProperty {
+	out := *p
+	if out.IndexLo != nil {
+		out.IndexLo = symbolic.Substitute(out.IndexLo, sub)
+	}
+	if out.IndexHi != nil {
+		out.IndexHi = symbolic.Substitute(out.IndexHi, sub)
+	}
+	if out.CounterFinal != nil {
+		out.CounterFinal = symbolic.Substitute(out.CounterFinal, sub)
+	}
+	if out.ValueRange != nil {
+		out.ValueRange = symbolic.Substitute(out.ValueRange, sub)
+	}
+	if out.Kind == property.KindIntermittent && !w.opts.DisableSeamExtension {
+		if lo, ok := symbolic.AsInt(symbolic.Simplify(out.IndexLo)); ok {
+			if pre, exists := w.arrayPre[out.Array]; exists {
+				if v0, has := pre[lo-1]; has {
+					secLo, _ := symbolic.Bounds(out.ValueRange)
+					if symbolic.ProveLE(v0, secLo, w.dict) {
+						out.IndexLo = symbolic.NewInt(lo - 1)
+						if !symbolic.ProveLT(v0, secLo, w.dict) {
+							out.Strict = false
+						}
+					}
+				}
+			}
+		}
+	}
+	out.DefFunc = w.fa.Func.Name
+	return &out
+}
+
+// analyzeLoop runs both phases on a loop nest, inside out, and returns the
+// collapse for the enclosing level (nil Failed collapse when the loop
+// cannot be analyzed).
+func (w *walker) analyzeLoop(loop *cminus.ForStmt) *phase1.CollapsedLoop {
+	meta := w.fa.Norm.Loops[loop.Label]
+	failed := func(reason string) *phase1.CollapsedLoop {
+		w.fa.Failures[loop.Label] = reason
+		scalars, arrays := phase1.AssignedVars(loop.Body, nil)
+		col := &phase1.CollapsedLoop{Label: loop.Label, Failed: true, Assigned: scalars}
+		col.Arrays = map[string][]phase1.ArrayWrite{}
+		for _, a := range arrays {
+			col.Arrays[a] = []phase1.ArrayWrite{{Value: symbolic.Bottom{}}}
+		}
+		if meta != nil && meta.Var != "" {
+			col.Assigned = append(col.Assigned, meta.Var)
+		}
+		return col
+	}
+	if meta == nil {
+		return failed("no normalization metadata")
+	}
+	if !meta.Eligible {
+		return failed(meta.Reason)
+	}
+
+	// Inner loops first (the algorithm proceeds inside out).
+	collapsedMap := map[string]*phase1.CollapsedLoop{}
+	for _, inner := range directInnerLoops(loop.Body) {
+		switch x := inner.(type) {
+		case *cminus.ForStmt:
+			collapsedMap[x.Label] = w.analyzeLoop(x)
+		case *cminus.WhileStmt:
+			// While loops cannot be aggregated; phase1 kills their
+			// assignments when it reaches the node.
+		}
+	}
+
+	p1res, err := phase1.Run(loop.Body, &phase1.Config{Meta: meta, Collapsed: collapsedMap})
+	if err != nil {
+		return failed(err.Error())
+	}
+	agg := AggregateOpts(w.level, w.opts, meta, p1res, w.dict)
+	w.fa.Phase1[loop.Label] = p1res
+	w.fa.Loops[loop.Label] = agg
+	return agg.Collapsed
+}
+
+// directInnerLoops returns the loops nested immediately inside a block
+// (not inside a deeper loop).
+func directInnerLoops(blk *cminus.Block) []cminus.Stmt {
+	var out []cminus.Stmt
+	var walkS func(s cminus.Stmt)
+	walkS = func(s cminus.Stmt) {
+		switch x := s.(type) {
+		case *cminus.ForStmt, *cminus.WhileStmt:
+			out = append(out, s)
+		case *cminus.Block:
+			for _, st := range x.Stmts {
+				walkS(st)
+			}
+		case *cminus.IfStmt:
+			walkS(x.Then)
+			if x.Else != nil {
+				walkS(x.Else)
+			}
+		}
+	}
+	for _, s := range blk.Stmts {
+		walkS(s)
+	}
+	return out
+}
+
+// convertOuter converts a straight-line mini-C expression to a symbolic
+// value, substituting known outer values.
+func (w *walker) convertOuter(e cminus.Expr) symbolic.Expr {
+	v := convertCount(e)
+	if symbolic.IsBottom(v) {
+		return v
+	}
+	sub := symbolic.Subst{}
+	for name, val := range w.outerVals {
+		sub[name] = val
+	}
+	return symbolic.Substitute(v, sub)
+}
+
+// convertCount converts a loop-invariant mini-C expression into a symbolic
+// expression: identifiers become symbols, arithmetic maps directly, and
+// anything non-integer becomes ⊥.
+func convertCount(e cminus.Expr) symbolic.Expr {
+	switch x := e.(type) {
+	case nil:
+		return symbolic.Bottom{}
+	case *cminus.IntLit:
+		return symbolic.NewInt(x.Val)
+	case *cminus.Ident:
+		return symbolic.NewSym(x.Name)
+	case *cminus.BinaryExpr:
+		l := convertCount(x.X)
+		r := convertCount(x.Y)
+		switch x.Op {
+		case "+":
+			return symbolic.AddExpr(l, r)
+		case "-":
+			return symbolic.SubExpr(l, r)
+		case "*":
+			return symbolic.MulExpr(l, r)
+		case "/":
+			return symbolic.DivExpr(l, r)
+		case "%":
+			return symbolic.ModExpr(l, r)
+		}
+		return symbolic.Bottom{}
+	case *cminus.UnaryExpr:
+		if x.Op == "-" {
+			return symbolic.NegExpr(convertCount(x.X))
+		}
+		return symbolic.Bottom{}
+	case *cminus.IndexExpr:
+		name, idx, ok := cminus.ArrayBase(e)
+		if !ok {
+			return symbolic.Bottom{}
+		}
+		indices := make([]symbolic.Expr, len(idx))
+		for i, ie := range idx {
+			indices[i] = convertCount(ie)
+			if symbolic.IsBottom(indices[i]) {
+				return symbolic.Bottom{}
+			}
+		}
+		return symbolic.ArrayRef{Name: name, Indices: indices}
+	case *cminus.CastExpr:
+		return convertCount(x.X)
+	}
+	return symbolic.Bottom{}
+}

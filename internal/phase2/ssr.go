@@ -1,0 +1,182 @@
+// Package phase2 implements Phase 2 of the subscripted-subscript array
+// analysis (Sections 2.4 and 2.5): aggregation of the Phase-1 per-iteration
+// expressions over the full iteration space, detection of Simple Scalar
+// Recurrences (SSR), Scalar Recurrence Array Assignments (SRA),
+// intermittent monotonic arrays (LEMMA 1) and monotonic multi-dimensional
+// arrays (LEMMA 2), and collapsing of analyzed loops for the enclosing
+// level. It also hosts the inside-out driver over whole functions.
+package phase2
+
+import (
+	"repro/internal/symbolic"
+)
+
+// Level selects the analysis capability (the paper's experimental arms).
+type Level int
+
+// Analysis levels.
+const (
+	// LevelClassical runs no subscript-array analysis at all (the
+	// "Cetus" bar of Figure 17).
+	LevelClassical Level = iota
+	// LevelBase is the prior approach of [5]: SSR + SRA only
+	// ("Cetus+BaseAlgo").
+	LevelBase
+	// LevelNew adds intermittent monotonicity and multi-dimensional
+	// monotonicity ("Cetus+NewAlgo", this paper).
+	LevelNew
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelClassical:
+		return "Cetus"
+	case LevelBase:
+		return "Cetus+BaseAlgo"
+	case LevelNew:
+		return "Cetus+NewAlgo"
+	}
+	return "?"
+}
+
+// SSRInfo describes a detected Simple Scalar Recurrence sc = sc + k.
+type SSRInfo struct {
+	Var string
+	// K is the per-iteration increment: a PNN value or value range.
+	K symbolic.Expr
+	// Conditional marks increments guarded by an if (the variable may
+	// keep its value in some iterations).
+	Conditional bool
+	// Cond is the guarding condition for conditional SSRs.
+	Cond symbolic.Expr
+	// Strict reports strict monotonicity across iterations: the variable
+	// provably grows (or, for Decreasing, shrinks) every iteration.
+	Strict bool
+	// Decreasing marks an NPP (negative or non-positive) increment: the
+	// variable is monotonically non-increasing.
+	Decreasing bool
+}
+
+// isSSR implements the is_SSR test of Algorithm 1: the value of v after
+// one iteration must be λ_v + k (possibly under a condition, with the
+// untagged alternative being the unchanged λ_v), where k is a
+// loop-invariant PNN value or value range. ctx supplies symbol ranges for
+// the PNN proof; ivar is the loop index (k must not depend on it).
+func isSSR(v string, rv symbolic.Expr, ivar string, lvv map[string]bool, ctx symbolic.Context) (SSRInfo, bool) {
+	info := SSRInfo{Var: v}
+	lam := symbolic.NewLambda(v)
+
+	var alternatives []symbolic.Expr
+	if s, ok := rv.(symbolic.Set); ok {
+		alternatives = s.Items
+	} else {
+		alternatives = []symbolic.Expr{rv}
+	}
+
+	var increment symbolic.Expr
+	var incrCond symbolic.Expr
+	sawPlain := false
+	for _, alt := range alternatives {
+		cond, inner := splitTag(alt)
+		if symbolic.Equal(inner, lam) {
+			// Unchanged alternative (the if not taken).
+			sawPlain = true
+			continue
+		}
+		k := symbolic.SubExpr(inner, lam)
+		if !isInvariantValue(k, ivar, lvv) {
+			return info, false
+		}
+		if increment != nil {
+			// More than one distinct increment: treat the union as a
+			// range if both are PNN; otherwise give up.
+			u := symbolic.RangeUnion(increment, k)
+			if symbolic.IsBottom(u) {
+				return info, false
+			}
+			increment = u
+			incrCond = nil
+		} else {
+			increment = k
+			incrCond = cond
+		}
+		if cond != nil {
+			sawPlain = sawPlain || false
+			info.Conditional = true
+		}
+	}
+	if increment == nil {
+		return info, false
+	}
+	if sawPlain {
+		info.Conditional = true
+	}
+	switch {
+	case symbolic.IsPNNValue(increment, ctx):
+		info.Strict = !info.Conditional && symbolic.IsPositiveValue(increment, ctx)
+	case symbolic.IsNPPValue(increment, ctx):
+		info.Decreasing = true
+		info.Strict = !info.Conditional && symbolic.IsNegativeValue(increment, ctx)
+	default:
+		return info, false
+	}
+	info.K = symbolic.Simplify(increment)
+	info.Cond = incrCond
+	return info, true
+}
+
+func splitTag(e symbolic.Expr) (cond, inner symbolic.Expr) {
+	if t, ok := e.(symbolic.Tagged); ok {
+		return t.Cond, t.E
+	}
+	return nil, e
+}
+
+// isInvariantValue reports whether e is loop-invariant: it contains no λ
+// markers, no occurrence of the loop index, and no ⊥. Opaque array reads
+// and calls with invariant indices are invariant (their storage is not
+// modified in an eligible loop body in a way the λ-free form would hide).
+func isInvariantValue(e symbolic.Expr, ivar string, lvv map[string]bool) bool {
+	if e == nil || symbolic.IsBottom(e) {
+		return false
+	}
+	ok := true
+	symbolic.Walk(e, func(x symbolic.Expr) bool {
+		switch t := x.(type) {
+		case symbolic.Lambda, symbolic.BigLambda, symbolic.Bottom:
+			ok = false
+			return false
+		case symbolic.Sym:
+			if t.Name == ivar || lvv[t.Name] {
+				ok = false
+				return false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// isLoopVariantCond reports whether a tag condition is loop variant: it
+// references the loop index, a λ marker, an LVV symbol, or an array read
+// whose subscript is itself loop variant (Algorithm 2 line 15).
+func isLoopVariantCond(c symbolic.Expr, ivar string, lvv map[string]bool) bool {
+	if c == nil {
+		return false
+	}
+	variant := false
+	symbolic.Walk(c, func(x symbolic.Expr) bool {
+		switch t := x.(type) {
+		case symbolic.Lambda:
+			variant = true
+			return false
+		case symbolic.Sym:
+			if t.Name == ivar || lvv[t.Name] {
+				variant = true
+				return false
+			}
+		}
+		return !variant
+	})
+	return variant
+}

@@ -1,0 +1,161 @@
+// Package property records the subscript-array properties determined by
+// the Phase-2 aggregation: (strict) monotonicity of one-dimensional arrays
+// — regular or intermittent — and (range-)monotonicity of
+// multi-dimensional arrays (Definitions 1 and 2 of the paper). The
+// extended data-dependence test consumes these facts to disprove
+// cross-iteration dependences in loops that use the subscript arrays.
+package property
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/symbolic"
+)
+
+// Kind distinguishes how the monotonic section was established.
+type Kind int
+
+// Property kinds.
+const (
+	// KindSRA is a regular (contiguous-iteration) monotonic assignment.
+	KindSRA Kind = iota
+	// KindIntermittent is an intermittent monotonic sequence (LEMMA 1).
+	KindIntermittent
+	// KindMultiDim is a monotonic multi-dimensional array (LEMMA 2).
+	KindMultiDim
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSRA:
+		return "SRA"
+	case KindIntermittent:
+		return "intermittent"
+	case KindMultiDim:
+		return "multi-dim"
+	}
+	return "?"
+}
+
+// ArrayProperty is one monotonicity fact about a subscript array.
+type ArrayProperty struct {
+	// Array is the subscript array's name.
+	Array string
+	// Kind tells how the property was derived.
+	Kind Kind
+	// Strict marks strict monotonicity (injectivity over the section).
+	Strict bool
+	// Decreasing marks monotonically decreasing sections (an extension
+	// beyond the paper's PNN recurrences; strictly decreasing sections
+	// are injective too).
+	Decreasing bool
+	// Dim is the dimension w.r.t. which a multi-dimensional array is
+	// monotonic (0 for one-dimensional arrays).
+	Dim int
+	// NumDims is the array's dimensionality at the write site.
+	NumDims int
+	// IndexLo is the lower bound of the monotonic index section.
+	IndexLo symbolic.Expr
+	// IndexHi is the upper bound. For intermittent sequences this is the
+	// run-time value Counter_max, rendered as the symbol "<counter>_max".
+	IndexHi symbolic.Expr
+	// Counter names the element counter for intermittent sequences.
+	Counter string
+	// CounterFinal is the aggregated range of the counter after the loop.
+	CounterFinal symbolic.Expr
+	// ValueRange is the aggregated range of values stored in the section.
+	ValueRange symbolic.Expr
+	// DefLoop is the label of the filling loop.
+	DefLoop string
+	// DefFunc is the function containing the filling loop.
+	DefFunc string
+}
+
+// String renders the property in the paper's aggregate notation, e.g.
+// A_rownnz[0:irownnz_max] = [0:num_rows-1]#SMA.
+func (p *ArrayProperty) String() string {
+	tag := "MA"
+	if p.Strict {
+		tag = "SMA"
+	}
+	if p.Decreasing {
+		tag += ",dec"
+	}
+	dims := ""
+	if p.NumDims > 1 {
+		tag = fmt.Sprintf("(%s;%d)", tag, p.Dim)
+		for i := 0; i < p.NumDims-1; i++ {
+			dims += "[*]"
+		}
+	}
+	lo, hi := "?", "?"
+	if p.IndexLo != nil {
+		lo = p.IndexLo.String()
+	}
+	if p.IndexHi != nil {
+		hi = p.IndexHi.String()
+	}
+	val := "⊥"
+	if p.ValueRange != nil {
+		val = p.ValueRange.String()
+	}
+	return fmt.Sprintf("%s[%s:%s]%s = %s#%s", p.Array, lo, hi, dims, val, tag)
+}
+
+// Injective reports whether the property implies injectivity of the array
+// over the monotonic section (strict monotonicity does).
+func (p *ArrayProperty) Injective() bool { return p.Strict }
+
+// DB collects the properties discovered for a program.
+type DB struct {
+	byArray map[string][]*ArrayProperty
+}
+
+// NewDB returns an empty property database.
+func NewDB() *DB { return &DB{byArray: map[string][]*ArrayProperty{}} }
+
+// Add records a property.
+func (db *DB) Add(p *ArrayProperty) { db.byArray[p.Array] = append(db.byArray[p.Array], p) }
+
+// Lookup returns the properties known for an array.
+func (db *DB) Lookup(array string) []*ArrayProperty { return db.byArray[array] }
+
+// Best returns the strongest property known for an array (strict before
+// non-strict), or nil.
+func (db *DB) Best(array string) *ArrayProperty {
+	props := db.byArray[array]
+	if len(props) == 0 {
+		return nil
+	}
+	best := props[0]
+	for _, p := range props[1:] {
+		if p.Strict && !best.Strict {
+			best = p
+		}
+	}
+	return best
+}
+
+// Arrays lists all array names with recorded properties, sorted.
+func (db *DB) Arrays() []string {
+	out := make([]string, 0, len(db.byArray))
+	for a := range db.byArray {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the whole database.
+func (db *DB) String() string {
+	var b strings.Builder
+	for _, a := range db.Arrays() {
+		for _, p := range db.byArray[a] {
+			b.WriteString(p.String())
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

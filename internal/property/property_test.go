@@ -1,0 +1,84 @@
+package property
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/symbolic"
+)
+
+func TestStringRendering(t *testing.T) {
+	p := &ArrayProperty{
+		Array:      "A_rownnz",
+		Kind:       KindIntermittent,
+		Strict:     true,
+		NumDims:    1,
+		IndexLo:    symbolic.Zero,
+		IndexHi:    symbolic.NewSym("irownnz_max"),
+		ValueRange: symbolic.NewRange(symbolic.Zero, symbolic.SubExpr(symbolic.NewSym("num_rows"), symbolic.One)),
+	}
+	got := p.String()
+	want := "A_rownnz[0:irownnz_max] = [0:-1+num_rows]#SMA"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+	md := &ArrayProperty{
+		Array:   "idel",
+		Kind:    KindMultiDim,
+		Strict:  true,
+		Dim:     0,
+		NumDims: 4,
+		IndexLo: symbolic.Zero,
+		IndexHi: symbolic.SubExpr(symbolic.NewSym("LELT"), symbolic.One),
+	}
+	if !strings.Contains(md.String(), "#(SMA;0)") || !strings.Contains(md.String(), "[*][*][*]") {
+		t.Errorf("multi-dim rendering: %s", md)
+	}
+	nonStrict := &ArrayProperty{Array: "p", Kind: KindSRA, NumDims: 1}
+	if !strings.HasSuffix(nonStrict.String(), "#MA") {
+		t.Errorf("non-strict rendering: %s", nonStrict)
+	}
+}
+
+func TestInjective(t *testing.T) {
+	if (&ArrayProperty{Strict: true}).Injective() != true {
+		t.Error("strict is injective")
+	}
+	if (&ArrayProperty{Strict: false}).Injective() != false {
+		t.Error("non-strict is not injective")
+	}
+}
+
+func TestDBBestPrefersStrict(t *testing.T) {
+	db := NewDB()
+	db.Add(&ArrayProperty{Array: "a", Strict: false})
+	db.Add(&ArrayProperty{Array: "a", Strict: true})
+	if p := db.Best("a"); p == nil || !p.Strict {
+		t.Error("Best should prefer the strict property")
+	}
+	if db.Best("missing") != nil {
+		t.Error("missing array has no property")
+	}
+	if len(db.Lookup("a")) != 2 {
+		t.Error("Lookup should return all")
+	}
+}
+
+func TestDBArraysSorted(t *testing.T) {
+	db := NewDB()
+	db.Add(&ArrayProperty{Array: "zz"})
+	db.Add(&ArrayProperty{Array: "aa"})
+	got := db.Arrays()
+	if len(got) != 2 || got[0] != "aa" || got[1] != "zz" {
+		t.Errorf("got %v", got)
+	}
+	if !strings.Contains(db.String(), "aa") {
+		t.Error("String should render all entries")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSRA.String() != "SRA" || KindIntermittent.String() != "intermittent" || KindMultiDim.String() != "multi-dim" {
+		t.Error("kind names")
+	}
+}

@@ -1,0 +1,123 @@
+// Package ranges implements the symbolic range dictionary used by the
+// array analysis (after Blume & Eigenmann's symbolic range propagation).
+// A Dict maps variables to symbolic [lo:hi] bounds and implements
+// symbolic.Context, so the sign analysis can prove facts such as
+// "num_rows - 1 >= 0" or "α + rl > ru" under collected assumptions.
+//
+// Dictionaries form a scope chain: entering a loop pushes a scope holding
+// the loop index's range (e.g. i ∈ [0:N-1]); leaving the loop pops it.
+package ranges
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/symbolic"
+)
+
+// Dict is a scoped symbolic range dictionary.
+type Dict struct {
+	parent *Dict
+	m      map[string]entry
+}
+
+type entry struct {
+	lo, hi symbolic.Expr // either may be nil (unbounded on that side)
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{m: map[string]entry{}}
+}
+
+// Push returns a child scope; bindings added to the child shadow the
+// parent and disappear when the child is discarded.
+func (d *Dict) Push() *Dict {
+	return &Dict{parent: d, m: map[string]entry{}}
+}
+
+// Set binds sym to [lo:hi] in the current scope. Either bound may be nil.
+func (d *Dict) Set(sym string, lo, hi symbolic.Expr) {
+	d.m[sym] = entry{lo: lo, hi: hi}
+}
+
+// SetPoint binds sym to the exact value v.
+func (d *Dict) SetPoint(sym string, v symbolic.Expr) { d.Set(sym, v, v) }
+
+// Forget removes any binding for sym in the current scope and shadows
+// parent bindings with an unknown range.
+func (d *Dict) Forget(sym string) {
+	if d.lookup(sym, true) {
+		d.m[sym] = entry{}
+	}
+}
+
+func (d *Dict) lookup(sym string, any bool) bool {
+	for s := d; s != nil; s = s.parent {
+		if _, ok := s.m[sym]; ok {
+			return true
+		}
+	}
+	return any && false
+}
+
+// RangeOf implements symbolic.Context.
+func (d *Dict) RangeOf(sym string) (lo, hi symbolic.Expr, ok bool) {
+	for s := d; s != nil; s = s.parent {
+		if e, found := s.m[sym]; found {
+			if e.lo == nil && e.hi == nil {
+				return nil, nil, false
+			}
+			return e.lo, e.hi, true
+		}
+	}
+	return nil, nil, false
+}
+
+// Value returns the exact known value of sym, if its range is a point.
+func (d *Dict) Value(sym string) (symbolic.Expr, bool) {
+	lo, hi, ok := d.RangeOf(sym)
+	if !ok || lo == nil || hi == nil {
+		return nil, false
+	}
+	if symbolic.Equal(lo, hi) {
+		return lo, true
+	}
+	return nil, false
+}
+
+// String renders the visible bindings, innermost scope last.
+func (d *Dict) String() string {
+	seen := map[string]bool{}
+	var scopes []*Dict
+	for s := d; s != nil; s = s.parent {
+		scopes = append([]*Dict{s}, scopes...)
+	}
+	var parts []string
+	for _, s := range scopes {
+		keys := make([]string, 0, len(s.m))
+		for k := range s.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			e := s.m[k]
+			lo, hi := "-inf", "+inf"
+			if e.lo != nil {
+				lo = e.lo.String()
+			}
+			if e.hi != nil {
+				hi = e.hi.String()
+			}
+			parts = append(parts, fmt.Sprintf("%s=[%s:%s]", k, lo, hi))
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+var _ symbolic.Context = (*Dict)(nil)

@@ -1,0 +1,96 @@
+package ranges
+
+import (
+	"testing"
+
+	"repro/internal/symbolic"
+)
+
+func TestSetAndRangeOf(t *testing.T) {
+	d := New()
+	d.Set("n", symbolic.One, nil)
+	lo, hi, ok := d.RangeOf("n")
+	if !ok || lo.String() != "1" || hi != nil {
+		t.Errorf("got %v %v %v", lo, hi, ok)
+	}
+	if _, _, ok := d.RangeOf("missing"); ok {
+		t.Error("missing symbol should not resolve")
+	}
+}
+
+func TestScopeChain(t *testing.T) {
+	parent := New()
+	parent.Set("n", symbolic.One, nil)
+	child := parent.Push()
+	child.Set("i", symbolic.Zero, symbolic.SubExpr(symbolic.NewSym("n"), symbolic.One))
+
+	// Child sees both.
+	if _, _, ok := child.RangeOf("n"); !ok {
+		t.Error("child should see parent binding")
+	}
+	if _, _, ok := child.RangeOf("i"); !ok {
+		t.Error("child should see own binding")
+	}
+	// Parent does not see the child's binding.
+	if _, _, ok := parent.RangeOf("i"); ok {
+		t.Error("parent must not see child binding")
+	}
+	// Shadowing.
+	child.Set("n", symbolic.NewInt(5), symbolic.NewInt(5))
+	lo, hi, _ := child.RangeOf("n")
+	if lo.String() != "5" || hi.String() != "5" {
+		t.Errorf("shadow: [%v:%v]", lo, hi)
+	}
+}
+
+func TestForget(t *testing.T) {
+	parent := New()
+	parent.Set("x", symbolic.One, symbolic.One)
+	child := parent.Push()
+	child.Forget("x")
+	if _, _, ok := child.RangeOf("x"); ok {
+		t.Error("forgotten symbol should be unknown in child")
+	}
+	if _, _, ok := parent.RangeOf("x"); !ok {
+		t.Error("parent binding must survive")
+	}
+}
+
+func TestValue(t *testing.T) {
+	d := New()
+	d.SetPoint("c", symbolic.NewInt(7))
+	v, ok := d.Value("c")
+	if !ok || v.String() != "7" {
+		t.Errorf("got %v %v", v, ok)
+	}
+	d.Set("r", symbolic.Zero, symbolic.One)
+	if _, ok := d.Value("r"); ok {
+		t.Error("non-point range has no single value")
+	}
+}
+
+func TestUsableAsSignContext(t *testing.T) {
+	d := New()
+	d.Set("num_rows", symbolic.One, nil)
+	child := d.Push()
+	child.Set("i", symbolic.Zero, symbolic.SubExpr(symbolic.NewSym("num_rows"), symbolic.One))
+	// Prove i >= 0 and i <= num_rows-1 and num_rows-1 >= 0.
+	if !symbolic.ProveGE(symbolic.NewSym("i"), symbolic.Zero, child) {
+		t.Error("i >= 0")
+	}
+	if !symbolic.ProveGE(
+		symbolic.SubExpr(symbolic.NewSym("num_rows"), symbolic.One),
+		symbolic.Zero, child) {
+		t.Error("num_rows-1 >= 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	d := New()
+	d.Set("a", symbolic.Zero, symbolic.NewInt(5))
+	d.Set("b", nil, symbolic.One)
+	s := d.String()
+	if s != "{a=[0:5], b=[-inf:1]}" {
+		t.Errorf("got %s", s)
+	}
+}

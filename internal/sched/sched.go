@@ -1,0 +1,176 @@
+// Package sched is the parallel runtime the generated (native Go)
+// benchmark kernels run on: a parallel-for with OpenMP-like static and
+// dynamic scheduling over a goroutine pool, plus a fork-join cost
+// microbenchmark used to calibrate the multicore simulator.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Policy selects the loop schedule.
+type Policy int
+
+// Scheduling policies (mirroring OpenMP's static and dynamic).
+const (
+	Static Policy = iota
+	Dynamic
+)
+
+func (p Policy) String() string {
+	if p == Dynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// Options configures a parallel-for.
+type Options struct {
+	Workers int
+	Policy  Policy
+	// Chunk is the dynamic chunk size (default 1) or the static chunk
+	// override (default n/Workers contiguous blocks).
+	Chunk int
+}
+
+// For runs body(i) for i in [0,n) in parallel.
+//
+// Static: contiguous blocks of ~n/Workers per worker (OpenMP default).
+// Dynamic: workers pull chunks of Options.Chunk iterations.
+func For(n int, opt Options, body func(i int)) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	if opt.Policy == Dynamic {
+		chunk := opt.Chunk
+		if chunk <= 0 {
+			chunk = 1
+		}
+		var next int64
+		var mu sync.Mutex
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					start := int(next)
+					next += int64(chunk)
+					mu.Unlock()
+					if start >= n {
+						return
+					}
+					end := start + chunk
+					if end > n {
+						end = n
+					}
+					for i := start; i < end; i++ {
+						body(i)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * per
+		end := start + per
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			break
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			for i := start; i < end; i++ {
+				body(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ForChunked runs body(start, end) over contiguous ranges — useful when
+// the body wants to amortize per-iteration overhead itself.
+func ForChunked(n int, opt Options, body func(start, end int)) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * per
+		end := start + per
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			break
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			body(start, end)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// MeasureForkJoin measures the wall-clock cost of launching and joining an
+// empty parallel region with the given worker count (the per-region
+// overhead that makes inner-loop parallelization expensive). The median of
+// reps runs is returned.
+func MeasureForkJoin(workers, reps int) time.Duration {
+	if reps <= 0 {
+		reps = 32
+	}
+	times := make([]time.Duration, reps)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() { wg.Done() }()
+		}
+		wg.Wait()
+		times[r] = time.Since(t0)
+	}
+	// Median by insertion sort (reps is small).
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times[len(times)/2]
+}

@@ -1,0 +1,241 @@
+// Package sparse provides the sparse-matrix substrate for the benchmark
+// kernels: CSR/CSC storage and deterministic synthetic generators standing
+// in for the paper's input datasets (DESIGN.md §4.2). The generators
+// reproduce each dataset's published dimensions (scaled) and row/column
+// occupancy character — balanced vs skewed — which is what drives the load
+// balance effects in Figures 15 and 16.
+package sparse
+
+import (
+	"math"
+	"math/rand"
+)
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32
+	ColIdx     []int32
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// RowNNZ returns the entry count of row i.
+func (m *CSR) RowNNZ(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }
+
+// CSC is a compressed-sparse-column matrix.
+type CSC struct {
+	Rows, Cols int
+	ColPtr     []int32
+	RowIdx     []int32
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSC) NNZ() int { return len(m.RowIdx) }
+
+// ColNNZ returns the entry count of column j.
+func (m *CSC) ColNNZ(j int) int { return int(m.ColPtr[j+1] - m.ColPtr[j]) }
+
+// Laplacian3D builds the 27-point Laplacian of an nx×ny×nz grid — the
+// AMGmk (CORAL) MATRIX inputs are Laplacians of this family.
+func Laplacian3D(nx, ny, nz int) *CSR {
+	n := nx * ny * nz
+	m := &CSR{Rows: n, Cols: n, RowPtr: make([]int32, n+1)}
+	idx := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							xx, yy, zz := x+dx, y+dy, z+dz
+							if xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 || zz >= nz {
+								continue
+							}
+							v := -1.0
+							if dx == 0 && dy == 0 && dz == 0 {
+								v = 26.0
+							}
+							m.ColIdx = append(m.ColIdx, int32(idx(xx, yy, zz)))
+							m.Val = append(m.Val, v)
+						}
+					}
+				}
+				m.RowPtr[idx(x, y, z)+1] = int32(len(m.ColIdx))
+			}
+		}
+	}
+	return m
+}
+
+// RowShape selects the occupancy distribution of a random matrix.
+type RowShape int
+
+// Occupancy shapes.
+const (
+	// Balanced rows: occupancy ~ mean with small jitter (af_shell1-like).
+	Balanced RowShape = iota
+	// Skewed rows: a long-tailed (approximately power-law) occupancy
+	// (gsm_106857 / dielFilterV2clx-like).
+	Skewed
+	// Clustered: a dense head of rows followed by a sparse tail
+	// (crankseg_1-like).
+	Clustered
+)
+
+// RandomCSR builds a deterministic random matrix with the given row
+// occupancy character. Empty rows appear with probability emptyFrac
+// (AMGmk's A_rownnz exists precisely because some rows are empty).
+func RandomCSR(seed int64, rows, cols, meanNNZ int, shape RowShape, emptyFrac float64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for i := 0; i < rows; i++ {
+		nnz := rowOccupancy(rng, i, rows, meanNNZ, shape, emptyFrac)
+		if nnz > cols {
+			nnz = cols
+		}
+		for c := 0; c < nnz; c++ {
+			m.ColIdx = append(m.ColIdx, int32(rng.Intn(cols)))
+			m.Val = append(m.Val, rng.Float64()*2-1)
+		}
+		m.RowPtr[i+1] = int32(len(m.ColIdx))
+	}
+	return m
+}
+
+// RandomCSC builds a deterministic random matrix in CSC form with the
+// given column occupancy character (every column non-empty; SDDMM's
+// col_ptr construction assumes at least one entry per compressed column).
+func RandomCSC(seed int64, rows, cols, meanNNZ int, shape RowShape) *CSC {
+	rng := rand.New(rand.NewSource(seed))
+	m := &CSC{Rows: rows, Cols: cols, ColPtr: make([]int32, cols+1)}
+	for j := 0; j < cols; j++ {
+		nnz := rowOccupancy(rng, j, cols, meanNNZ, shape, 0)
+		if nnz < 1 {
+			nnz = 1
+		}
+		if nnz > rows {
+			nnz = rows
+		}
+		for c := 0; c < nnz; c++ {
+			m.RowIdx = append(m.RowIdx, int32(rng.Intn(rows)))
+			m.Val = append(m.Val, rng.Float64()*2-1)
+		}
+		m.ColPtr[j+1] = int32(len(m.RowIdx))
+	}
+	return m
+}
+
+func rowOccupancy(rng *rand.Rand, i, n, mean int, shape RowShape, emptyFrac float64) int {
+	if emptyFrac > 0 && rng.Float64() < emptyFrac {
+		return 0
+	}
+	switch shape {
+	case Balanced:
+		// mean ± 10%.
+		jitter := int(float64(mean) * 0.1)
+		if jitter < 1 {
+			jitter = 1
+		}
+		return mean - jitter + rng.Intn(2*jitter+1)
+	case Skewed:
+		// Pareto-like: most rows small, a heavy tail carrying the bulk.
+		u := rng.Float64()
+		v := float64(mean) * 0.4 / math.Pow(1-u*0.999, 0.7)
+		nnz := int(v)
+		if nnz < 1 {
+			nnz = 1
+		}
+		if nnz > 50*mean {
+			nnz = 50 * mean
+		}
+		// Real skewed matrices cluster their dense rows (structure or
+		// degree ordering): one contiguous window of n/8 rows is twice as
+		// dense, which is what static contiguous chunking mishandles
+		// (Figure 16).
+		if i >= n/4 && i < n/4+n/8 {
+			nnz *= 2
+		}
+		return nnz
+	case Clustered:
+		// First 10% of rows dense, the rest sparse.
+		if i < n/10 {
+			return mean * 6
+		}
+		return mean / 2
+	}
+	return mean
+}
+
+// Dataset names a synthetic stand-in for one of the paper's inputs.
+type Dataset struct {
+	// Name as in Table 1 (asterisked names come from SuiteSparse).
+	Name string
+	// Rows/Cols/MeanNNZ give the scaled-down shape.
+	Rows, Cols, MeanNNZ int
+	Shape               RowShape
+	// EmptyFrac is the empty-row fraction (AMG inputs).
+	EmptyFrac float64
+	Seed      int64
+}
+
+// Build materializes the dataset as CSR.
+func (d Dataset) Build() *CSR {
+	return RandomCSR(d.Seed, d.Rows, d.Cols, d.MeanNNZ, d.Shape, d.EmptyFrac)
+}
+
+// BuildCSC materializes the dataset as CSC.
+func (d Dataset) BuildCSC() *CSC {
+	return RandomCSC(d.Seed, d.Rows, d.Cols, d.MeanNNZ, d.Shape)
+}
+
+// SDDMM datasets (SuiteSparse stand-ins, scaled ~64x down from the
+// published sizes, preserving the occupancy character: af_shell1 is
+// famously uniform — the paper's Figure 16 notes static scheduling wins
+// there — while the others are skewed).
+var (
+	GSM106857     = Dataset{Name: "gsm_106857", Rows: 9200, Cols: 9200, MeanNNZ: 36, Shape: Skewed, Seed: 1}
+	DielFilterV2  = Dataset{Name: "dielFilterV2clx", Rows: 6500, Cols: 6500, MeanNNZ: 72, Shape: Skewed, Seed: 2}
+	AfShell1      = Dataset{Name: "af_shell1", Rows: 7900, Cols: 7900, MeanNNZ: 35, Shape: Balanced, Seed: 3}
+	Inline1       = Dataset{Name: "inline_1", Rows: 7800, Cols: 7800, MeanNNZ: 73, Shape: Skewed, Seed: 4}
+	Spal004       = Dataset{Name: "spal_004", Rows: 5000, Cols: 5000, MeanNNZ: 92, Shape: Clustered, Seed: 5}
+	Crankseg1     = Dataset{Name: "crankseg_1", Rows: 5200, Cols: 5200, MeanNNZ: 200, Shape: Clustered, Seed: 6}
+	SDDMMDatasets = []Dataset{GSM106857, DielFilterV2, AfShell1, Inline1}
+)
+
+// AMGGrid describes one AMGmk MATRIX input (a 27-point Laplacian grid).
+type AMGGrid struct {
+	Name       string
+	Nx, Ny, Nz int
+}
+
+// AMGMatrices are the five CORAL AMGmk inputs; sizes scale roughly with
+// the paper's serial-time ratios (1 : 2.2 : 5.6 : 10 : 20).
+var AMGMatrices = []AMGGrid{
+	{"MATRIX1", 26, 26, 26},
+	{"MATRIX2", 34, 34, 34},
+	{"MATRIX3", 46, 46, 46},
+	{"MATRIX4", 56, 56, 56},
+	{"MATRIX5", 70, 70, 70},
+}
+
+// Build materializes the grid's Laplacian.
+func (g AMGGrid) Build() *CSR { return Laplacian3D(g.Nx, g.Ny, g.Nz) }
+
+// UAClass describes a UA benchmark class (element counts; CLASS A-D grow
+// roughly with the paper's serial-time ratios).
+type UAClass struct {
+	Name string
+	Lelt int
+}
+
+// UAClasses are the four NPB UA input classes.
+var UAClasses = []UAClass{
+	{"CLASS A", 3000},
+	{"CLASS B", 12000},
+	{"CLASS C", 48000},
+	{"CLASS D", 192000},
+}

@@ -1,0 +1,148 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaplacianShape(t *testing.T) {
+	m := Laplacian3D(4, 4, 4)
+	if m.Rows != 64 || m.Cols != 64 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	// Interior points have 27 neighbours.
+	interior := (2 * 2 * 2)
+	_ = interior
+	maxRow := 0
+	for i := 0; i < m.Rows; i++ {
+		if m.RowNNZ(i) > maxRow {
+			maxRow = m.RowNNZ(i)
+		}
+	}
+	if maxRow != 27 {
+		t.Errorf("max row nnz = %d, want 27", maxRow)
+	}
+	// Corner points have 8.
+	if m.RowNNZ(0) != 8 {
+		t.Errorf("corner nnz = %d, want 8", m.RowNNZ(0))
+	}
+	// Row sums: 26 - (nnz-1) since off-diagonals are -1.
+	for i := 0; i < m.Rows; i++ {
+		var sum float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			sum += m.Val[p]
+		}
+		want := 26.0 - float64(m.RowNNZ(i)-1)
+		if math.Abs(sum-want) > 1e-12 {
+			t.Fatalf("row %d sum %g want %g", i, sum, want)
+		}
+	}
+}
+
+func TestRandomCSRDeterministic(t *testing.T) {
+	a := RandomCSR(7, 100, 100, 10, Skewed, 0.2)
+	b := RandomCSR(7, 100, 100, 10, Skewed, 0.2)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("generator not deterministic")
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] {
+			t.Fatal("column streams differ")
+		}
+	}
+}
+
+func TestEmptyRowsAppear(t *testing.T) {
+	m := RandomCSR(1, 1000, 1000, 5, Balanced, 0.25)
+	empty := 0
+	for i := 0; i < m.Rows; i++ {
+		if m.RowNNZ(i) == 0 {
+			empty++
+		}
+	}
+	if empty < 150 || empty > 350 {
+		t.Errorf("empty rows = %d, want ≈250", empty)
+	}
+}
+
+func TestShapeCharacter(t *testing.T) {
+	bal := RandomCSC(1, 2000, 2000, 30, Balanced)
+	skw := RandomCSC(1, 2000, 2000, 30, Skewed)
+	cv := func(m *CSC) float64 {
+		var sum, sq float64
+		n := float64(m.Cols)
+		for j := 0; j < m.Cols; j++ {
+			v := float64(m.ColNNZ(j))
+			sum += v
+			sq += v * v
+		}
+		mean := sum / n
+		return math.Sqrt(sq/n-mean*mean) / mean
+	}
+	if cv(bal) > 0.2 {
+		t.Errorf("balanced CV = %g, want < 0.2", cv(bal))
+	}
+	if cv(skw) < 0.5 {
+		t.Errorf("skewed CV = %g, want > 0.5", cv(skw))
+	}
+}
+
+// TestQuickCSRWellFormed: row pointers are monotone and indices in range.
+func TestQuickCSRWellFormed(t *testing.T) {
+	f := func(seed int64, shapeRaw uint8) bool {
+		shape := RowShape(shapeRaw % 3)
+		m := RandomCSR(seed, 200, 150, 8, shape, 0.1)
+		if m.RowPtr[0] != 0 || int(m.RowPtr[m.Rows]) != m.NNZ() {
+			return false
+		}
+		for i := 0; i < m.Rows; i++ {
+			if m.RowPtr[i+1] < m.RowPtr[i] {
+				return false
+			}
+		}
+		for _, c := range m.ColIdx {
+			if c < 0 || int(c) >= m.Cols {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatasetCatalog(t *testing.T) {
+	if len(SDDMMDatasets) != 4 {
+		t.Fatalf("want 4 SDDMM datasets")
+	}
+	if len(AMGMatrices) != 5 {
+		t.Fatalf("want 5 AMG matrices")
+	}
+	if len(UAClasses) != 4 {
+		t.Fatalf("want 4 UA classes")
+	}
+	// AMG matrix sizes grow with the paper's serial-time ratios.
+	prev := 0
+	for _, g := range AMGMatrices {
+		n := g.Nx * g.Ny * g.Nz
+		if n <= prev {
+			t.Errorf("%s does not grow", g.Name)
+		}
+		prev = n
+	}
+	// af_shell1 is the balanced one.
+	if AfShell1.Shape != Balanced {
+		t.Error("af_shell1 must be balanced (Figure 16's static-wins case)")
+	}
+}
+
+func TestCSCColumnsNonEmpty(t *testing.T) {
+	m := RandomCSC(3, 500, 500, 4, Skewed)
+	for j := 0; j < m.Cols; j++ {
+		if m.ColNNZ(j) == 0 {
+			t.Fatalf("column %d empty", j)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package symbolic
+
+// Arithmetic combinators used by the symbolic executor. They distribute
+// over value Sets and Tagged expressions so that a statement like
+// m = m + 1 applied to the value {λ_m, ⟨1+λ_m⟩} yields {1+λ_m, ⟨2+λ_m⟩}.
+
+const maxSetSize = 16
+
+// AddExpr returns the simplified sum of operands, distributing over sets
+// and tagged values.
+func AddExpr(a, b Expr) Expr { return lift2(a, b, rawAdd) }
+
+// SubExpr returns the simplified difference a-b.
+func SubExpr(a, b Expr) Expr { return lift2(a, b, rawSub) }
+
+// MulExpr returns the simplified product, distributing over sets and
+// tagged values.
+func MulExpr(a, b Expr) Expr { return lift2(a, b, rawMul) }
+
+// DivExpr returns the simplified quotient (C truncating division).
+func DivExpr(a, b Expr) Expr { return lift2(a, b, rawDiv) }
+
+// ModExpr returns the simplified remainder.
+func ModExpr(a, b Expr) Expr { return lift2(a, b, rawMod) }
+
+// NegExpr returns -a.
+func NegExpr(a Expr) Expr { return MulExpr(NewInt(-1), a) }
+
+func rawAdd(a, b Expr) Expr { return Simplify(Add{Terms: []Expr{a, b}}) }
+func rawSub(a, b Expr) Expr {
+	return Simplify(Add{Terms: []Expr{a, Mul{Factors: []Expr{NewInt(-1), b}}}})
+}
+func rawMul(a, b Expr) Expr { return Simplify(Mul{Factors: []Expr{a, b}}) }
+func rawDiv(a, b Expr) Expr { return Simplify(Div{Num: a, Den: b}) }
+func rawMod(a, b Expr) Expr { return Simplify(Mod{Num: a, Den: b}) }
+
+// lift2 applies op to all combinations of the alternatives of a and b,
+// preserving tags. If both operands are tagged, the tags are merged with a
+// conjunction; if the resulting set grows beyond maxSetSize the value
+// degrades to ⊥ (conservative).
+func lift2(a, b Expr, op func(x, y Expr) Expr) Expr {
+	if a == nil || b == nil || IsBottom(a) || IsBottom(b) {
+		return Bottom{}
+	}
+	as := alternatives(a)
+	bs := alternatives(b)
+	if len(as)*len(bs) > maxSetSize {
+		return Bottom{}
+	}
+	var out []Expr
+	for _, x := range as {
+		for _, y := range bs {
+			xc, xe := splitTag(x)
+			yc, ye := splitTag(y)
+			res := op(xe, ye)
+			if IsBottom(res) {
+				return Bottom{}
+			}
+			cond := mergeTags(xc, yc)
+			if cond != nil {
+				res = Tagged{Cond: cond, E: res}
+			}
+			out = append(out, res)
+		}
+	}
+	return NewSet(out...)
+}
+
+func alternatives(e Expr) []Expr {
+	if s, ok := e.(Set); ok {
+		return s.Items
+	}
+	return []Expr{e}
+}
+
+func splitTag(e Expr) (cond Expr, inner Expr) {
+	if t, ok := e.(Tagged); ok {
+		return t.Cond, t.E
+	}
+	return nil, e
+}
+
+func mergeTags(a, b Expr) Expr {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case Equal(a, b):
+		return a
+	default:
+		return Simplify(And{Conds: []Expr{a, b}})
+	}
+}
+
+// UnionValues computes the conservative union of two values at a
+// control-flow merge point (may semantics): identical values stay, distinct
+// values form a set.
+func UnionValues(a, b Expr) Expr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if IsBottom(a) || IsBottom(b) {
+		return Bottom{}
+	}
+	items := append(alternatives(a), alternatives(b)...)
+	if len(items) > maxSetSize {
+		return Bottom{}
+	}
+	return NewSet(items...)
+}
+
+// StripTags removes all condition tags, returning the underlying value(s).
+func StripTags(e Expr) Expr {
+	if e == nil {
+		return Bottom{}
+	}
+	switch x := e.(type) {
+	case Tagged:
+		return StripTags(x.E)
+	case Set:
+		items := make([]Expr, len(x.Items))
+		for i, it := range x.Items {
+			items[i] = StripTags(it)
+		}
+		return NewSet(items...)
+	}
+	return e
+}
+
+// TaggedParts returns the tagged alternatives of a value (Section 2.5,
+// Algorithm 1 lines 9-10: when a value mixes tagged and untagged
+// sub-expressions, only the tagged ones are analyzed).
+func TaggedParts(e Expr) []Tagged {
+	var out []Tagged
+	for _, alt := range alternatives(e) {
+		if t, ok := alt.(Tagged); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// UntaggedParts returns the untagged alternatives of a value.
+func UntaggedParts(e Expr) []Expr {
+	var out []Expr
+	for _, alt := range alternatives(e) {
+		if _, ok := alt.(Tagged); !ok {
+			out = append(out, alt)
+		}
+	}
+	return out
+}
+
+// RangeUnion returns the smallest range covering both values, treating a
+// non-range value as the degenerate range [v:v]. Bounds that cannot be
+// compared symbolically fall back to Min/Max expressions.
+func RangeUnion(a, b Expr) Expr {
+	if IsBottom(a) || IsBottom(b) {
+		return Bottom{}
+	}
+	alo, ahi := Bounds(a)
+	blo, bhi := Bounds(b)
+	lo := Simplify(Min{Args: []Expr{alo, blo}})
+	hi := Simplify(Max{Args: []Expr{ahi, bhi}})
+	return NewRange(lo, hi)
+}

@@ -1,0 +1,217 @@
+package symbolic
+
+import "fmt"
+
+// Env supplies concrete values for evaluation. Arrays are total functions
+// from index vectors to values; unknown lookups are errors.
+type Env struct {
+	// Vars maps symbol names (and λ_/Λ_ keys) to concrete values.
+	Vars map[string]int64
+	// Arrays maps array names to lookup functions.
+	Arrays map[string]func(idx []int64) (int64, error)
+	// Calls maps function names to implementations.
+	Calls map[string]func(args []int64) (int64, error)
+}
+
+// Eval evaluates a scalar expression to a concrete integer. Ranges,
+// sets, ⊥ and boolean expressions are not scalar values and yield errors;
+// Tagged evaluates its inner expression (the tag is a provenance marker,
+// not a guard, at evaluation time).
+func Eval(e Expr, env *Env) (int64, error) {
+	if e == nil {
+		return 0, fmt.Errorf("symbolic: eval of nil expression")
+	}
+	switch x := e.(type) {
+	case Int:
+		return x.Val, nil
+	case Sym:
+		return envVar(env, x.Name)
+	case Lambda:
+		return envVar(env, LambdaKey(x.Name))
+	case BigLambda:
+		return envVar(env, BigLambdaKey(x.Name))
+	case Add:
+		var sum int64
+		for _, t := range x.Terms {
+			v, err := Eval(t, env)
+			if err != nil {
+				return 0, err
+			}
+			sum += v
+		}
+		return sum, nil
+	case Mul:
+		prod := int64(1)
+		for _, f := range x.Factors {
+			v, err := Eval(f, env)
+			if err != nil {
+				return 0, err
+			}
+			prod *= v
+		}
+		return prod, nil
+	case Div:
+		n, err := Eval(x.Num, env)
+		if err != nil {
+			return 0, err
+		}
+		d, err := Eval(x.Den, env)
+		if err != nil {
+			return 0, err
+		}
+		if d == 0 {
+			return 0, fmt.Errorf("symbolic: division by zero")
+		}
+		return n / d, nil
+	case Mod:
+		n, err := Eval(x.Num, env)
+		if err != nil {
+			return 0, err
+		}
+		d, err := Eval(x.Den, env)
+		if err != nil {
+			return 0, err
+		}
+		if d == 0 {
+			return 0, fmt.Errorf("symbolic: modulo by zero")
+		}
+		return n % d, nil
+	case Min:
+		return evalFold(x.Args, env, func(a, b int64) int64 {
+			if b < a {
+				return b
+			}
+			return a
+		})
+	case Max:
+		return evalFold(x.Args, env, func(a, b int64) int64 {
+			if b > a {
+				return b
+			}
+			return a
+		})
+	case ArrayRef:
+		if env == nil || env.Arrays == nil {
+			return 0, fmt.Errorf("symbolic: no array env for %s", x.Name)
+		}
+		fn, ok := env.Arrays[x.Name]
+		if !ok {
+			return 0, fmt.Errorf("symbolic: unknown array %s", x.Name)
+		}
+		idx := make([]int64, len(x.Indices))
+		for i, ix := range x.Indices {
+			v, err := Eval(ix, env)
+			if err != nil {
+				return 0, err
+			}
+			idx[i] = v
+		}
+		return fn(idx)
+	case Call:
+		if env == nil || env.Calls == nil {
+			return 0, fmt.Errorf("symbolic: no call env for %s", x.Name)
+		}
+		fn, ok := env.Calls[x.Name]
+		if !ok {
+			return 0, fmt.Errorf("symbolic: unknown call %s", x.Name)
+		}
+		args := make([]int64, len(x.Args))
+		for i, a := range x.Args {
+			v, err := Eval(a, env)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		return fn(args)
+	case Tagged:
+		return Eval(x.E, env)
+	case Bottom:
+		return 0, fmt.Errorf("symbolic: eval of ⊥")
+	}
+	return 0, fmt.Errorf("symbolic: expression %s is not a scalar value", e)
+}
+
+func envVar(env *Env, key string) (int64, error) {
+	if env == nil || env.Vars == nil {
+		return 0, fmt.Errorf("symbolic: unbound %s", key)
+	}
+	v, ok := env.Vars[key]
+	if !ok {
+		return 0, fmt.Errorf("symbolic: unbound %s", key)
+	}
+	return v, nil
+}
+
+func evalFold(args []Expr, env *Env, fold func(a, b int64) int64) (int64, error) {
+	if len(args) == 0 {
+		return 0, fmt.Errorf("symbolic: empty min/max")
+	}
+	acc, err := Eval(args[0], env)
+	if err != nil {
+		return 0, err
+	}
+	for _, a := range args[1:] {
+		v, err := Eval(a, env)
+		if err != nil {
+			return 0, err
+		}
+		acc = fold(acc, v)
+	}
+	return acc, nil
+}
+
+// EvalBool evaluates a boolean (condition) expression.
+func EvalBool(e Expr, env *Env) (bool, error) {
+	if e == nil {
+		return false, fmt.Errorf("symbolic: eval of nil condition")
+	}
+	switch x := e.(type) {
+	case BoolLit:
+		return x.Val, nil
+	case Cmp:
+		l, err := Eval(x.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := Eval(x.R, env)
+		if err != nil {
+			return false, err
+		}
+		return evalCmp(x.Op, l, r), nil
+	case And:
+		for _, c := range x.Conds {
+			v, err := EvalBool(c, env)
+			if err != nil {
+				return false, err
+			}
+			if !v {
+				return false, nil
+			}
+		}
+		return true, nil
+	case Or:
+		for _, c := range x.Conds {
+			v, err := EvalBool(c, env)
+			if err != nil {
+				return false, err
+			}
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	case Not:
+		v, err := EvalBool(x.C, env)
+		if err != nil {
+			return false, err
+		}
+		return !v, nil
+	}
+	// C-style: a non-zero scalar is true.
+	v, err := Eval(e, env)
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}

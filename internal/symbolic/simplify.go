@@ -1,0 +1,583 @@
+package symbolic
+
+import (
+	"sort"
+	"strings"
+)
+
+// Simplify returns the canonical form of e: sums are flattened into a
+// linear combination of atoms with folded constants, products distribute
+// over sums, range arithmetic is applied ([a:b]+[c:d] = [a+c:b+d], and
+// k*[a:b] for constant k distributes into the bounds), and ⊥ absorbs any
+// arithmetic it participates in. Boolean expressions are simplified
+// recursively. The result is deterministic, so String equality on
+// simplified expressions is a sound equality test.
+func Simplify(e Expr) Expr {
+	if e == nil {
+		return Bottom{}
+	}
+	switch x := e.(type) {
+	case Int, Sym, Lambda, BigLambda, Bottom, BoolLit:
+		return e
+	case Add, Mul:
+		return emitValue(nf(e))
+	case Div:
+		num, den := Simplify(x.Num), Simplify(x.Den)
+		if IsBottom(num) || IsBottom(den) {
+			return Bottom{}
+		}
+		if nv, ok := AsInt(num); ok {
+			if dv, ok2 := AsInt(den); ok2 && dv != 0 {
+				return NewInt(nv / dv)
+			}
+		}
+		if dv, ok := AsInt(den); ok && dv == 1 {
+			return num
+		}
+		return Div{Num: num, Den: den}
+	case Mod:
+		num, den := Simplify(x.Num), Simplify(x.Den)
+		if IsBottom(num) || IsBottom(den) {
+			return Bottom{}
+		}
+		if nv, ok := AsInt(num); ok {
+			if dv, ok2 := AsInt(den); ok2 && dv != 0 {
+				return NewInt(nv % dv)
+			}
+		}
+		return Mod{Num: num, Den: den}
+	case Min:
+		return simplifyMinMax(x.Args, true)
+	case Max:
+		return simplifyMinMax(x.Args, false)
+	case ArrayRef:
+		idx := simplifyAll(x.Indices)
+		return ArrayRef{Name: x.Name, Indices: idx}
+	case Call:
+		return Call{Name: x.Name, Args: simplifyAll(x.Args)}
+	case Range:
+		lo, hi := Simplify(x.Lo), Simplify(x.Hi)
+		if IsBottom(lo) || IsBottom(hi) {
+			return Bottom{}
+		}
+		// Flatten nested ranges: a range whose bounds are themselves
+		// ranges covers [lo.Lo : hi.Hi] (arises when substituting a range
+		// for a variable inside another range's bounds).
+		if lr, ok := lo.(Range); ok {
+			lo = lr.Lo
+		}
+		if hr, ok := hi.(Range); ok {
+			hi = hr.Hi
+		}
+		if lo.String() == hi.String() {
+			return lo
+		}
+		return Range{Lo: lo, Hi: hi}
+	case Tagged:
+		return Tagged{Cond: Simplify(x.Cond), E: Simplify(x.E)}
+	case Set:
+		items := simplifyAll(x.Items)
+		return NewSet(items...)
+	case Mono:
+		return Mono{Base: Simplify(x.Base), Strict: x.Strict, Dim: x.Dim}
+	case Cmp:
+		return simplifyCmp(x)
+	case And:
+		return simplifyAnd(x.Conds)
+	case Or:
+		return simplifyOr(x.Conds)
+	case Not:
+		return simplifyNot(x.C)
+	}
+	return e
+}
+
+func simplifyAll(es []Expr) []Expr {
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = Simplify(e)
+	}
+	return out
+}
+
+func simplifyMinMax(args []Expr, isMin bool) Expr {
+	args = simplifyAll(args)
+	var consts []int64
+	var rest []Expr
+	for _, a := range args {
+		if IsBottom(a) {
+			return Bottom{}
+		}
+		if v, ok := AsInt(a); ok {
+			consts = append(consts, v)
+			continue
+		}
+		rest = append(rest, a)
+	}
+	if len(consts) > 0 {
+		best := consts[0]
+		for _, v := range consts[1:] {
+			if (isMin && v < best) || (!isMin && v > best) {
+				best = v
+			}
+		}
+		rest = append(rest, NewInt(best))
+	}
+	// Deduplicate.
+	seen := map[string]bool{}
+	var uniq []Expr
+	for _, a := range rest {
+		if !seen[a.String()] {
+			seen[a.String()] = true
+			uniq = append(uniq, a)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].String() < uniq[j].String() })
+	if len(uniq) == 1 {
+		return uniq[0]
+	}
+	if folded, ok := foldConstantOffsets(uniq, isMin); ok {
+		return folded
+	}
+	if isMin {
+		return Min{Args: uniq}
+	}
+	return Max{Args: uniq}
+}
+
+// foldConstantOffsets resolves min/max over expressions that differ only
+// by integer constants (e.g. min(λ+4, λ, λ+20) = λ): the comparison
+// reduces to comparing the constants.
+func foldConstantOffsets(args []Expr, isMin bool) (Expr, bool) {
+	if len(args) < 2 {
+		return nil, false
+	}
+	base := nf(args[0])
+	if base.invalid || base.isRange {
+		return nil, false
+	}
+	bestIdx, bestDiff := 0, int64(0)
+	for i := 1; i < len(args); i++ {
+		v := nf(args[i])
+		if v.invalid || v.isRange {
+			return nil, false
+		}
+		diff := linsum{}
+		diff.addAll(v.lo)
+		diff.addAll(base.lo.scale(-1))
+		c, ok := diff.constVal()
+		if !ok {
+			return nil, false
+		}
+		if (isMin && c < bestDiff) || (!isMin && c > bestDiff) {
+			bestIdx, bestDiff = i, c
+		}
+	}
+	return args[bestIdx], true
+}
+
+// ---- linear normal form ----
+
+// term is coef * product(atoms); atoms are canonical non-constant factors
+// sorted by their string form.
+type term struct {
+	coef  int64
+	atoms []Expr
+}
+
+func (t term) key() string {
+	parts := make([]string, len(t.atoms))
+	for i, a := range t.atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, "*")
+}
+
+// linsum is a canonical linear combination: key -> term.
+type linsum map[string]term
+
+func (l linsum) add(t term) {
+	if t.coef == 0 {
+		return
+	}
+	k := t.key()
+	if prev, ok := l[k]; ok {
+		prev.coef += t.coef
+		if prev.coef == 0 {
+			delete(l, k)
+		} else {
+			l[k] = prev
+		}
+		return
+	}
+	l[k] = t
+}
+
+func (l linsum) addAll(o linsum) {
+	for _, t := range o {
+		l.add(t)
+	}
+}
+
+func (l linsum) scale(c int64) linsum {
+	out := linsum{}
+	for _, t := range l {
+		out.add(term{coef: t.coef * c, atoms: t.atoms})
+	}
+	return out
+}
+
+func (l linsum) constVal() (int64, bool) {
+	switch len(l) {
+	case 0:
+		return 0, true
+	case 1:
+		for _, t := range l {
+			if len(t.atoms) == 0 {
+				return t.coef, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func mulLin(a, b linsum) (linsum, bool) {
+	// Distribute; refuse if the result would be enormous.
+	if len(a)*len(b) > 256 {
+		return nil, false
+	}
+	out := linsum{}
+	for _, ta := range a {
+		for _, tb := range b {
+			atoms := make([]Expr, 0, len(ta.atoms)+len(tb.atoms))
+			atoms = append(atoms, ta.atoms...)
+			atoms = append(atoms, tb.atoms...)
+			sort.Slice(atoms, func(i, j int) bool { return atoms[i].String() < atoms[j].String() })
+			out.add(term{coef: ta.coef * tb.coef, atoms: atoms})
+		}
+	}
+	return out, true
+}
+
+// value is the normal form of an expression: either a single linsum or a
+// range of two linsums. invalid marks ⊥.
+type value struct {
+	lo, hi  linsum
+	isRange bool
+	invalid bool
+}
+
+func scalarValue(l linsum) value { return value{lo: l} }
+
+func bottomValue() value { return value{invalid: true} }
+
+// nf computes the normal form of e. Opaque sub-expressions (array refs,
+// calls, min/max, div/mod, tagged, sets, mono) become atoms after internal
+// simplification.
+func nf(e Expr) value {
+	switch x := e.(type) {
+	case Int:
+		l := linsum{}
+		l.add(term{coef: x.Val})
+		return scalarValue(l)
+	case Bottom:
+		return bottomValue()
+	case Add:
+		acc := scalarValue(linsum{})
+		for _, t := range x.Terms {
+			acc = addValues(acc, nf(t))
+			if acc.invalid {
+				return acc
+			}
+		}
+		return acc
+	case Mul:
+		one := linsum{}
+		one.add(term{coef: 1})
+		acc := scalarValue(one)
+		for _, f := range x.Factors {
+			acc = mulValues(acc, nf(f))
+			if acc.invalid {
+				return acc
+			}
+		}
+		return acc
+	case Range:
+		lo, hi := nf(x.Lo), nf(x.Hi)
+		if lo.invalid || hi.invalid || lo.isRange || hi.isRange {
+			return bottomValue()
+		}
+		return value{lo: lo.lo, hi: hi.lo, isRange: true}
+	default:
+		s := Simplify(e)
+		if IsBottom(s) {
+			return bottomValue()
+		}
+		// Simplification of an opaque node (e.g. a min/max collapsing to a
+		// single argument) may expose a linearizable expression; normalize
+		// it rather than treating it as an atom.
+		switch s.Kind() {
+		case KAdd, KMul, KRange, KInt:
+			return nf(s)
+		}
+		l := linsum{}
+		l.add(term{coef: 1, atoms: []Expr{s}})
+		return scalarValue(l)
+	}
+}
+
+func addValues(a, b value) value {
+	if a.invalid || b.invalid {
+		return bottomValue()
+	}
+	if !a.isRange && !b.isRange {
+		out := linsum{}
+		out.addAll(a.lo)
+		out.addAll(b.lo)
+		return scalarValue(out)
+	}
+	alo, ahi := a.lo, a.lo
+	if a.isRange {
+		ahi = a.hi
+	}
+	blo, bhi := b.lo, b.lo
+	if b.isRange {
+		bhi = b.hi
+	}
+	lo := linsum{}
+	lo.addAll(alo)
+	lo.addAll(blo)
+	hi := linsum{}
+	hi.addAll(ahi)
+	hi.addAll(bhi)
+	return value{lo: lo, hi: hi, isRange: true}
+}
+
+func mulValues(a, b value) value {
+	if a.invalid || b.invalid {
+		return bottomValue()
+	}
+	if !a.isRange && !b.isRange {
+		out, ok := mulLin(a.lo, b.lo)
+		if !ok {
+			// A product too large to distribute degrades to ⊥: the analysis
+			// never needs such expressions, and keeping a half-distributed
+			// atom would break simplification idempotence.
+			return bottomValue()
+		}
+		return scalarValue(out)
+	}
+	// Put the range on the left.
+	if !a.isRange {
+		a, b = b, a
+	}
+	if b.isRange {
+		// Range*range: fold only when all bounds are constant.
+		al, aok := a.lo.constVal()
+		ah, aok2 := a.hi.constVal()
+		bl, bok := b.lo.constVal()
+		bh, bok2 := b.hi.constVal()
+		if aok && aok2 && bok && bok2 {
+			prods := []int64{al * bl, al * bh, ah * bl, ah * bh}
+			mn, mx := prods[0], prods[0]
+			for _, p := range prods[1:] {
+				if p < mn {
+					mn = p
+				}
+				if p > mx {
+					mx = p
+				}
+			}
+			lo := linsum{}
+			lo.add(term{coef: mn})
+			hi := linsum{}
+			hi.add(term{coef: mx})
+			return value{lo: lo, hi: hi, isRange: true}
+		}
+		return bottomValue()
+	}
+	if c, ok := b.lo.constVal(); ok {
+		if c >= 0 {
+			return value{lo: a.lo.scale(c), hi: a.hi.scale(c), isRange: true}
+		}
+		return value{lo: a.hi.scale(c), hi: a.lo.scale(c), isRange: true}
+	}
+	// Symbolic multiplier of unknown sign: without a sign context we cannot
+	// orient the bounds, so the result is unknown.
+	return bottomValue()
+}
+
+func emitValue(v value) Expr {
+	if v.invalid {
+		return Bottom{}
+	}
+	if !v.isRange {
+		return emitLin(v.lo)
+	}
+	lo, hi := emitLin(v.lo), emitLin(v.hi)
+	if lo.String() == hi.String() {
+		return lo
+	}
+	return Range{Lo: lo, Hi: hi}
+}
+
+func emitLin(l linsum) Expr {
+	if len(l) == 0 {
+		return Zero
+	}
+	keys := make([]string, 0, len(l))
+	var constTerm *term
+	for k, t := range l {
+		if len(t.atoms) == 0 {
+			tt := t
+			constTerm = &tt
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Expr
+	if constTerm != nil {
+		out = append(out, NewInt(constTerm.coef))
+	}
+	for _, k := range keys {
+		t := l[k]
+		out = append(out, emitTerm(t))
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return Add{Terms: out}
+}
+
+func emitTerm(t term) Expr {
+	if len(t.atoms) == 0 {
+		return NewInt(t.coef)
+	}
+	if t.coef == 1 && len(t.atoms) == 1 {
+		return t.atoms[0]
+	}
+	factors := make([]Expr, 0, len(t.atoms)+1)
+	if t.coef != 1 {
+		factors = append(factors, NewInt(t.coef))
+	}
+	factors = append(factors, t.atoms...)
+	if len(factors) == 1 {
+		return factors[0]
+	}
+	return Mul{Factors: factors}
+}
+
+// ---- boolean simplification ----
+
+func simplifyCmp(c Cmp) Expr {
+	l, r := Simplify(c.L), Simplify(c.R)
+	if lv, ok := AsInt(l); ok {
+		if rv, ok2 := AsInt(r); ok2 {
+			return BoolLit{Val: evalCmp(c.Op, lv, rv)}
+		}
+	}
+	// Canonicalize to diff-form: keep as-is but normalize operand order for
+	// equality/inequality so that structural comparison of tags works.
+	if (c.Op == OpEQ || c.Op == OpNE) && l.String() > r.String() {
+		l, r = r, l
+	}
+	return Cmp{Op: c.Op, L: l, R: r}
+}
+
+func evalCmp(op CmpOp, a, b int64) bool {
+	switch op {
+	case OpEQ:
+		return a == b
+	case OpNE:
+		return a != b
+	case OpLT:
+		return a < b
+	case OpLE:
+		return a <= b
+	case OpGT:
+		return a > b
+	case OpGE:
+		return a >= b
+	}
+	return false
+}
+
+func simplifyAnd(conds []Expr) Expr {
+	var out []Expr
+	for _, c := range conds {
+		s := Simplify(c)
+		if b, ok := s.(BoolLit); ok {
+			if !b.Val {
+				return BoolLit{Val: false}
+			}
+			continue
+		}
+		if a, ok := s.(And); ok {
+			out = append(out, a.Conds...)
+			continue
+		}
+		out = append(out, s)
+	}
+	out = dedupConds(out)
+	switch len(out) {
+	case 0:
+		return BoolLit{Val: true}
+	case 1:
+		return out[0]
+	}
+	return And{Conds: out}
+}
+
+func simplifyOr(conds []Expr) Expr {
+	var out []Expr
+	for _, c := range conds {
+		s := Simplify(c)
+		if b, ok := s.(BoolLit); ok {
+			if b.Val {
+				return BoolLit{Val: true}
+			}
+			continue
+		}
+		if o, ok := s.(Or); ok {
+			out = append(out, o.Conds...)
+			continue
+		}
+		out = append(out, s)
+	}
+	out = dedupConds(out)
+	switch len(out) {
+	case 0:
+		return BoolLit{Val: false}
+	case 1:
+		return out[0]
+	}
+	return Or{Conds: out}
+}
+
+func simplifyNot(c Expr) Expr {
+	s := Simplify(c)
+	switch x := s.(type) {
+	case BoolLit:
+		return BoolLit{Val: !x.Val}
+	case Not:
+		return x.C
+	case Cmp:
+		return Cmp{Op: x.Op.Negate(), L: x.L, R: x.R}
+	}
+	return Not{C: s}
+}
+
+func dedupConds(conds []Expr) []Expr {
+	seen := map[string]bool{}
+	var out []Expr
+	for _, c := range conds {
+		k := c.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

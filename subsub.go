@@ -1,0 +1,78 @@
+// Package subsub is the public API of the subscripted-subscript
+// recurrence analysis library — a reproduction of "Recurrence Analysis
+// for Automatic Parallelization of Subscripted Subscripts" (Bhosale &
+// Eigenmann, PPoPP 2024).
+//
+// The library parses programs written in a C subset, determines
+// monotonicity properties of subscript (index) arrays by symbolic
+// recurrence analysis — including the paper's two novel properties,
+// intermittent monotonicity of one-dimensional arrays and
+// (range-)monotonicity of multi-dimensional arrays — and uses them to
+// automatically parallelize loops with subscripted-subscript patterns
+// such as y[ind[i]].
+//
+// Quick start:
+//
+//	res, err := subsub.Analyze(src, subsub.Options{Level: subsub.New})
+//	if err != nil { ... }
+//	fmt.Println(res.Summary())          // properties + per-loop decisions
+//	fmt.Println(res.AnnotatedSource())  // OpenMP-annotated program
+//	m, _ := res.NewMachine(8)           // parallel executor for the plan
+//
+// Three analysis levels mirror the paper's experimental arms: Classical
+// (no array analysis), Base (the prior ICS'21 approach: simple scalar
+// recurrences and contiguous scalar-recurrence array assignments) and New
+// (this paper: intermittent and multi-dimensional monotonicity).
+package subsub
+
+import (
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/property"
+)
+
+// Level selects the analysis capability.
+type Level = core.Level
+
+// Analysis capability levels (the paper's three experimental arms).
+const (
+	Classical = core.Classical
+	Base      = core.Base
+	New       = core.New
+)
+
+// Options configures an analysis.
+type Options = core.Options
+
+// Result is a completed analysis: properties, plan, annotated source and
+// an executable machine.
+type Result = core.Result
+
+// ArrayProperty is a monotonicity fact about a subscript array.
+type ArrayProperty = property.ArrayProperty
+
+// Machine executes analyzed programs (serially or per the plan).
+type Machine = interp.Machine
+
+// Arg is an argument to a program function: a scalar (int64, float64) or
+// an *Array.
+type Arg = interp.Arg
+
+// Array is a (multi-dimensional) array value passed to program functions.
+type Array = interp.Array
+
+// NewIntArray allocates an integer array for program arguments.
+func NewIntArray(name string, dims ...int64) *Array {
+	return interp.NewIntArray(name, dims...)
+}
+
+// NewFloatArray allocates a double array for program arguments.
+func NewFloatArray(name string, dims ...int64) *Array {
+	return interp.NewFloatArray(name, dims...)
+}
+
+// Analyze parses a mini-C program and runs the recurrence analysis and
+// automatic parallelizer at the configured level.
+func Analyze(src string, opt Options) (*Result, error) {
+	return core.Analyze(src, opt)
+}

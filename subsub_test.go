@@ -1,0 +1,99 @@
+package subsub
+
+import (
+	"strings"
+	"testing"
+)
+
+const quickstartSrc = `
+void fill(int npts, double *xdos, double t, double width, int *ind, int *count) {
+    int m = 0;
+    int j;
+    for (j = 0; j < npts; j++) {
+        if ((xdos[j] - t) < width)
+            ind[m++] = j;
+    }
+    count[0] = m;
+}
+void apply(int numPlaced, int m_max, int *ind, double *xdos, double *y,
+           double gamma2, double t, double sigma2) {
+    int j;
+    for (j = 0; j < numPlaced; j++) {
+        y[ind[j]] = y[ind[j]] + gamma2 * exp(-((xdos[ind[j]] - t) * (xdos[ind[j]] - t)) / sigma2);
+    }
+}
+`
+
+// TestPublicAPIEndToEnd drives the whole pipeline through the public API
+// on the paper's Figure 1/4 example (the EVSL loop).
+func TestPublicAPIEndToEnd(t *testing.T) {
+	res, err := Analyze(quickstartSrc, Options{Level: New})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The property of ind: intermittent strictly monotonic.
+	props := res.Properties()
+	if len(props) == 0 {
+		t.Fatal("no properties determined")
+	}
+	found := false
+	for _, p := range props {
+		if p.Array == "ind" && p.Strict {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ind should be strictly monotonic: %v", props)
+	}
+	// The apply loop is parallelized with a runtime check.
+	annotated := res.AnnotatedSource()
+	if !strings.Contains(annotated, "#pragma omp parallel for if(-1+numPlaced<=m_max)") {
+		t.Errorf("annotated source:\n%s", annotated)
+	}
+	// Classical cannot parallelize it.
+	resC, err := Analyze(quickstartSrc, Options{Level: Classical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loops := resC.ParallelLoops()["apply"]; len(loops) != 0 {
+		t.Errorf("classical should not parallelize apply: %v", loops)
+	}
+}
+
+// TestVerifyAPI: the Verify helper proves parallel == serial on real
+// data.
+func TestVerifyAPI(t *testing.T) {
+	res, err := Analyze(quickstartSrc, Options{Level: New})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(500)
+	xdos := NewFloatArray("xdos", n)
+	for i := int64(0); i < n; i++ {
+		xdos.Flts[i] = float64(i%37) * 0.11
+	}
+	ind := NewIntArray("ind", n)
+	count := NewIntArray("count", 1)
+
+	m, err := res.NewMachine(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Call("fill", n, xdos, 0.5, 2.0, ind, count); err != nil {
+		t.Fatal(err)
+	}
+	numPlaced := count.Ints[0]
+	if numPlaced == 0 {
+		t.Fatal("degenerate input")
+	}
+	y := NewFloatArray("y", n)
+	worst, err := res.Verify("apply", 4,
+		[]Arg{numPlaced, numPlaced, ind, xdos, y, 0.7, 0.5, 3.0},
+		[]string{"y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-12 {
+		t.Errorf("parallel/serial divergence %g", worst)
+	}
+}

@@ -1,0 +1,25 @@
+// AMGmk — algebraic multigrid sparse matvec over nonzero rows (y[A_rownnz[i]]) (from the CORAL suite).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/amgmk.c
+
+void amg_fill(int num_rows, int *A_i, int *A_rownnz, int *out_count) {
+    int irownnz = 0;
+    int i, adiag;
+    for (i = 0; i < num_rows; i++) {
+        adiag = A_i[i+1] - A_i[i];
+        if (adiag > 0)
+            A_rownnz[irownnz++] = i;
+    }
+    out_count[0] = irownnz;
+}
+void amg_matvec(int num_rownnz, int irownnz_max, int *A_rownnz, int *A_i, int *A_j,
+                double *A_data, double *x_data, double *y_data) {
+    int i, jj, m;
+    double tempx;
+    for (i = 0; i < num_rownnz; i++) {
+        m = A_rownnz[i];
+        tempx = y_data[m];
+        for (jj = A_i[m]; jj < A_i[m+1]; jj++)
+            tempx += A_data[jj] * x_data[A_j[jj]];
+        y_data[m] = tempx;
+    }
+}

@@ -1,0 +1,14 @@
+// CG — CG sparse matvec w = A*p in CSR (from the NPB3.3 suite).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/cg.c
+
+void cg_matvec(int n, int *rowstr, int *colidx, double *a, double *p, double *w) {
+    int j, k;
+    double sum;
+    for (j = 0; j < n; j++) {
+        sum = 0.0;
+        for (k = rowstr[j]; k < rowstr[j+1]; k++) {
+            sum += a[k] * p[colidx[k]];
+        }
+        w[j] = sum;
+    }
+}

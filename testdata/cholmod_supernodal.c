@@ -1,0 +1,19 @@
+// CHOLMOD-Supernodal — supernodal Cholesky block scaling through prefix-sum extents Lpx (from the SuiteSparse suite).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/cholmod_supernodal.c
+// Requires: -assume bs
+
+void chol_fill(int nsuper, int bs, int *Lpx) {
+    int s;
+    Lpx[0] = 0;
+    for (s = 1; s <= nsuper; s++) {
+        Lpx[s] = Lpx[s-1] + bs;
+    }
+}
+void chol_scale(int nsuper, int *Lpx, double *Lx, double *diag) {
+    int s, p;
+    for (s = 0; s < nsuper; s++) {
+        for (p = Lpx[s]; p < Lpx[s+1]; p++) {
+            Lx[p] = Lx[p] / diag[s];
+        }
+    }
+}

@@ -1,0 +1,27 @@
+// fdtd-2d — 2-D finite-difference time-domain kernel (from the PolyBench-4.2 suite).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/fdtd_2d.c
+
+void fdtd2d(int tmax, int nx, int ny, double ex[][1000], double ey[][1000],
+            double hz[][1000], double *fict) {
+    int t, i, j;
+    for (t = 0; t < tmax; t++) {
+        for (j = 0; j < ny; j++) {
+            ey[0][j] = fict[t];
+        }
+        for (i = 1; i < nx; i++) {
+            for (j = 0; j < ny; j++) {
+                ey[i][j] = ey[i][j] - 0.5*(hz[i][j] - hz[i-1][j]);
+            }
+        }
+        for (i = 0; i < nx; i++) {
+            for (j = 1; j < ny; j++) {
+                ex[i][j] = ex[i][j] - 0.5*(hz[i][j] - hz[i][j-1]);
+            }
+        }
+        for (i = 0; i < nx - 1; i++) {
+            for (j = 0; j < ny - 1; j++) {
+                hz[i][j] = hz[i][j] - 0.7*(ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+// gramschmidt — modified Gram-Schmidt QR factorization (from the PolyBench-4.2 suite).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/gramschmidt.c
+
+void gramschmidt(int m, int n, double A[][600], double R[][600], double Q[][600]) {
+    int i, j, k;
+    double nrm;
+    for (k = 0; k < n; k++) {
+        nrm = 0.0;
+        for (i = 0; i < m; i++) {
+            nrm += A[i][k] * A[i][k];
+        }
+        R[k][k] = sqrt(nrm);
+        for (i = 0; i < m; i++) {
+            Q[i][k] = A[i][k] / R[k][k];
+        }
+        for (j = k + 1; j < n; j++) {
+            R[k][j] = 0.0;
+            for (i = 0; i < m; i++) {
+                R[k][j] += Q[i][k] * A[i][j];
+            }
+            for (i = 0; i < m; i++) {
+                A[i][j] = A[i][j] - Q[i][k] * R[k][j];
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+// heat-3d — 3-D heat equation Jacobi step B = stencil(A) (from the PolyBench-4.2 suite).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/heat_3d.c
+
+void heat3d_step(int n, double A[][120][120], double B[][120][120]) {
+    int i, j, k;
+    for (i = 1; i < n-1; i++) {
+        for (j = 1; j < n-1; j++) {
+            for (k = 1; k < n-1; k++) {
+                B[i][j][k] = 0.125 * (A[i+1][j][k] - 2.0*A[i][j][k] + A[i-1][j][k])
+                           + 0.125 * (A[i][j+1][k] - 2.0*A[i][j][k] + A[i][j-1][k])
+                           + 0.125 * (A[i][j][k+1] - 2.0*A[i][j][k] + A[i][j][k-1])
+                           + A[i][j][k];
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+// Incomplete-Cholesky — incomplete Cholesky column sweep over input-dependent structure (from the Sparselib++ suite).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/incomplete_cholesky.c
+
+void ic_fill(int n, int *rowlen, int *ia) {
+    int i;
+    ia[0] = 0;
+    for (i = 1; i <= n; i++) {
+        ia[i] = ia[i-1] + rowlen[i-1];
+    }
+}
+void ic_sweep(int n, int *ia, int *ja, double *val, double *diag) {
+    int i, p, col;
+    for (i = 0; i < n; i++) {
+        for (p = ia[i]; p < ia[i+1]; p++) {
+            col = ja[p];
+            val[p] = val[p] / sqrt(diag[col]);
+            diag[col] = diag[col] + val[p]*val[p];
+        }
+    }
+}

@@ -1,0 +1,9 @@
+// IS — integer sort key histogram (colliding key_buff updates) (from the NPB3.3 suite).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/is.c
+
+void is_rank(int n, int *key_array, int *key_buff) {
+    int i;
+    for (i = 0; i < n; i++) {
+        key_buff[key_array[i]] = key_buff[key_array[i]] + 1;
+    }
+}

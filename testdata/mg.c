@@ -1,0 +1,16 @@
+// MG — multigrid residual r = v - A*u (27-point stencil core) (from the NPB3.3/SPEC OMP2012 suite).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/mg.c
+
+void mg_resid(int n, double u[][130][130], double v[][130][130], double r[][130][130]) {
+    int i1, i2, i3;
+    double u1, u2;
+    for (i3 = 1; i3 < n-1; i3++) {
+        for (i2 = 1; i2 < n-1; i2++) {
+            for (i1 = 1; i1 < n-1; i1++) {
+                u1 = u[i3][i2-1][i1] + u[i3][i2+1][i1] + u[i3-1][i2][i1] + u[i3+1][i2][i1];
+                u2 = u[i3-1][i2-1][i1] + u[i3-1][i2+1][i1] + u[i3+1][i2-1][i1] + u[i3+1][i2+1][i1];
+                r[i3][i2][i1] = v[i3][i2][i1] - 0.8*u[i3][i2][i1] - 0.2*(u[i3][i2][i1-1] + u[i3][i2][i1+1] + u1) - 0.1*u2;
+            }
+        }
+    }
+}

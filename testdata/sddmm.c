@@ -1,0 +1,30 @@
+// SDDMM — sampled dense-dense matmul over CSC columns (p[ind], ind in col_ptr windows) (from the Nisa et al. suite).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/sddmm.c
+
+void sddmm_fill(int nonzeros, int *col_val, int *col_ptr, int *out_holder) {
+    int holder = 1;
+    int i, r;
+    col_ptr[0] = 0;
+    r = col_val[0];
+    for (i = 0; i < nonzeros; i++) {
+        if (col_val[i] != r) {
+            col_ptr[holder++] = i;
+            r = col_val[i];
+        }
+    }
+    out_holder[0] = holder;
+}
+void sddmm(int n_cols, int k, int holder_max, int *col_ptr, int *row_ind,
+           double *W, double *H, double *nnz_val, double *p) {
+    int r, ind, t;
+    double sm;
+    for (r = 0; r < n_cols; r++) {
+        for (ind = col_ptr[r]; ind < col_ptr[r+1]; ind++) {
+            sm = 0.0;
+            for (t = 0; t < k; t++) {
+                sm += W[r*k + t] * H[row_ind[ind]*k + t];
+            }
+            p[ind] = sm * nnz_val[ind];
+        }
+    }
+}

@@ -1,0 +1,16 @@
+// syrk — symmetric rank-k update C = alpha*A*A' + beta*C (from the PolyBench-4.2 suite).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/syrk.c
+
+void syrk(int n, int m, double alpha, double beta, double C[][1200], double A[][1000]) {
+    int i, j, k;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j <= i; j++) {
+            C[i][j] = C[i][j] * beta;
+        }
+        for (k = 0; k < m; k++) {
+            for (j = 0; j <= i; j++) {
+                C[i][j] = C[i][j] + alpha * A[i][k] * A[j][k];
+            }
+        }
+    }
+}

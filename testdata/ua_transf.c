@@ -1,0 +1,32 @@
+// UA(transf) — unstructured adaptive mortar-point scatter through 4-D idel (from the NPB3.3 suite).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/ua_transf.c
+
+void ua_fill(int LELT, int idel[][6][5][5]) {
+    int iel, j, i, ntemp;
+    for (iel = 0; iel < LELT; iel++) {
+        ntemp = 125*iel;
+        for (j = 0; j < 5; j++) {
+            for (i = 0; i < 5; i++) {
+                idel[iel][0][j][i] = ntemp + i*5 + j*25 + 4;
+                idel[iel][1][j][i] = ntemp + i*5 + j*25;
+                idel[iel][2][j][i] = ntemp + i + j*25 + 20;
+                idel[iel][3][j][i] = ntemp + i + j*25;
+                idel[iel][4][j][i] = ntemp + i + j*5 + 100;
+                idel[iel][5][j][i] = ntemp + i + j*5;
+            }
+        }
+    }
+}
+void ua_transf(int nelt, int idel[][6][5][5], double *tx, double *tmort) {
+    int iel, iface, j, i;
+    for (iel = 0; iel < nelt; iel++) {
+        for (iface = 0; iface < 6; iface++) {
+            for (j = 0; j < 5; j++) {
+                for (i = 0; i < 5; i++) {
+                    tx[idel[iel][iface][j][i]] = tx[idel[iel][iface][j][i]]
+                        + tmort[iel*150 + iface*25 + j*5 + i];
+                }
+            }
+        }
+    }
+}
