@@ -1,0 +1,35 @@
+# Build/test gates for the subscripted-subscript analysis repo.
+#
+#   make check   — the full pre-merge gate: vet + tests + race detector
+#   make race    — go test -race ./... (the concurrent driver and the
+#                  sharded symbolic cache must stay race-clean)
+#   make fuzz    — short fuzz session over the parser and simplifier
+#   make bench   — batch-driver and cache micro-benchmarks
+
+GO ?= go
+
+.PHONY: build vet test race check fuzz bench experiments
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet test race
+
+fuzz:
+	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime 20s ./internal/cminus/
+	$(GO) test -run FuzzSimplify -fuzz FuzzSimplify -fuzztime 20s ./internal/symbolic/
+
+bench:
+	$(GO) test -run NONE -bench 'AnalyzeBatch|SimplifyCached' -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/benchrunner -experiment all

@@ -1,0 +1,115 @@
+package subsub
+
+// Determinism tests for the concurrent batch driver: a parallel
+// AnalyzeBatch must be byte-identical to the serial one — annotated
+// sources, plan summaries and property databases alike — no matter how
+// the worker pool interleaves.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/corpus"
+)
+
+// fingerprint captures everything user-visible about one analysis result.
+func fingerprint(r *Result) string {
+	return r.AnnotatedSource() + "\n----\n" + r.Summary() + "\n----\n" + r.Plan.Props.String()
+}
+
+// corpusSources returns the 12 Table-1 benchmarks as batch inputs.
+func corpusSources() []Source {
+	return bench.CorpusSources()
+}
+
+// TestAnalyzeBatchDeterministic analyzes the whole corpus with one worker
+// to fix the baseline, then re-runs with 8 workers five times and demands
+// byte-identical annotated source, summary and property-DB dumps.
+func TestAnalyzeBatchDeterministic(t *testing.T) {
+	srcs := corpusSources()
+	if len(srcs) != len(corpus.All()) {
+		t.Fatalf("corpus sources: got %d, want %d", len(srcs), len(corpus.All()))
+	}
+
+	baseline := AnalyzeBatch(srcs, Options{Workers: 1})
+	want := make(map[string]string, len(baseline))
+	for _, br := range baseline {
+		if br.Err != nil {
+			t.Fatalf("serial analysis of %s failed: %v", br.Name, br.Err)
+		}
+		want[br.Name] = fingerprint(br.Res)
+	}
+
+	for rep := 0; rep < 5; rep++ {
+		got := AnalyzeBatch(srcs, Options{Workers: 8})
+		if len(got) != len(srcs) {
+			t.Fatalf("rep %d: got %d results, want %d", rep, len(got), len(srcs))
+		}
+		for i, br := range got {
+			if br.Name != srcs[i].Name {
+				t.Fatalf("rep %d: result %d is %q, want %q (order must match input)", rep, i, br.Name, srcs[i].Name)
+			}
+			if br.Err != nil {
+				t.Fatalf("rep %d: parallel analysis of %s failed: %v", rep, br.Name, br.Err)
+			}
+			if fp := fingerprint(br.Res); fp != want[br.Name] {
+				t.Errorf("rep %d: %s: parallel output differs from serial baseline:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					rep, br.Name, want[br.Name], fp)
+			}
+		}
+	}
+}
+
+// TestAnalyzeWorkersDeterministic drives the per-program concurrent
+// driver (Pass 1 + nest planning over the worker pool) at several worker
+// counts on a multi-function program and demands identical plans.
+func TestAnalyzeWorkersDeterministic(t *testing.T) {
+	var src string
+	for f := 0; f < 6; f++ {
+		src += fmt.Sprintf(`
+void kernel%d(double *y, double *x, int *ind%d, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    ind%d[i] = ind%d[i] + 1;
+  }
+  for (i = 0; i < n; i++) {
+    y[ind%d[i]] = y[ind%d[i]] + x[i];
+  }
+}
+`, f, f, f, f, f, f)
+	}
+	base, err := Analyze(src, Options{Level: New, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(base)
+	for _, workers := range []int{2, 4, 8} {
+		for rep := 0; rep < 3; rep++ {
+			res, err := Analyze(src, Options{Level: New, Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d rep=%d: %v", workers, rep, err)
+			}
+			if fp := fingerprint(res); fp != want {
+				t.Errorf("workers=%d rep=%d: plan differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					workers, rep, want, fp)
+			}
+		}
+	}
+}
+
+// TestAnalyzeBatchErrorIsolation: a broken source must fail alone without
+// poisoning the rest of the batch.
+func TestAnalyzeBatchErrorIsolation(t *testing.T) {
+	srcs := []Source{
+		{Name: "ok", Src: "void f(int *a, int n) { int i; for (i = 0; i < n; i++) { a[i] = i; } }"},
+		{Name: "broken", Src: "void g(int *a { THIS IS NOT C"},
+	}
+	out := AnalyzeBatch(srcs, Options{Workers: 4, Level: New})
+	if out[0].Err != nil || out[0].Res == nil {
+		t.Errorf("good source failed: %v", out[0].Err)
+	}
+	if out[1].Err == nil {
+		t.Error("broken source did not report an error")
+	}
+}

@@ -8,6 +8,7 @@ package subsub
 
 import (
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -154,4 +155,29 @@ func BenchmarkAnalysisCorpus(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkAnalyzeBatch compares the serial and concurrent batch drivers
+// over the whole 12-benchmark corpus (the compiletime experiment's
+// speedup measurement, as a testing.B benchmark).
+func BenchmarkAnalyzeBatch(b *testing.B) {
+	srcs := corpusSources()
+	run := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, br := range AnalyzeBatch(srcs, Options{Workers: workers}) {
+				if br.Err != nil {
+					b.Fatal(br.Err)
+				}
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) {
+		w := runtime.GOMAXPROCS(0)
+		if w < 2 {
+			w = 2
+		}
+		run(b, w)
+	})
 }

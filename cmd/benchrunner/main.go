@@ -16,12 +16,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "table1, fig13, fig14, fig15, fig16, fig17, ablation, compile or all")
+	exp := flag.String("experiment", "all", "table1, fig13, fig14, fig15, fig16, fig17, ablation, compiletime or all")
 	quick := flag.Bool("quick", false, "use scaled-down datasets")
 	validate := flag.Bool("validate", true, "run the 2-worker real-execution soundness check")
+	workers := flag.Int("workers", 0, "worker pool for the compile-time batch experiment (0 = all cores)")
 	flag.Parse()
 
 	h := bench.New(os.Stdout, *quick)
+	h.Workers = *workers
 	fmt.Printf("calibration: %.3g s/unit, fork-join %.0f units, dispatch %.1f units\n\n",
 		h.Cal.SecondsPerUnit, h.Cal.ForkJoinUnits, h.Cal.DispatchUnits)
 
@@ -50,7 +52,7 @@ func main() {
 			h.Fig17()
 		case "ablation":
 			h.Ablation()
-		case "compile":
+		case "compile", "compiletime":
 			h.CompileTime()
 		default:
 			fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", name)

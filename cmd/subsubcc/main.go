@@ -1,17 +1,22 @@
-// Command subsubcc analyzes a mini-C source file with the
+// Command subsubcc analyzes mini-C source files with the
 // subscripted-subscript recurrence analysis and prints the discovered
 // subscript-array properties, per-loop parallelization decisions, and the
 // OpenMP-annotated source.
 //
+// Several files may be given; they are analyzed as one concurrent batch
+// over -workers goroutines, and the output is printed in argument order,
+// bit-identical to analyzing each file on its own.
+//
 // Usage:
 //
-//	subsubcc [-level classical|base|new] [-assume sym1,sym2] [-annotate] file.c
+//	subsubcc [-level classical|base|new] [-assume sym1,sym2] [-annotate] [-workers N] file.c [file2.c ...]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -22,19 +27,15 @@ func main() {
 	assume := flag.String("assume", "", "comma-separated symbols assumed >= 1")
 	annotate := flag.Bool("annotate", false, "print the OpenMP-annotated source")
 	doInline := flag.Bool("inline", false, "perform inline expansion before the analysis")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker pool size (files and passes fan out; output is identical for any value)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: subsubcc [flags] file.c\n")
+		fmt.Fprintf(os.Stderr, "usage: subsubcc [flags] file.c [file2.c ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
-	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 
 	opt := core.Options{}
@@ -53,15 +54,36 @@ func main() {
 		opt.AssumePositive = strings.Split(*assume, ",")
 	}
 	opt.Inline = *doInline
+	opt.Workers = *workers
 
-	res, err := core.Analyze(string(src), opt)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	sources := make([]core.Source, flag.NArg())
+	for i, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sources[i] = core.Source{Name: path, Src: string(src)}
 	}
-	fmt.Print(res.Summary())
-	if *annotate {
-		fmt.Println("\n---- annotated source ----")
-		fmt.Print(res.AnnotatedSource())
+
+	results := core.AnalyzeBatch(sources, opt)
+	failed := false
+	for _, r := range results {
+		if len(results) > 1 {
+			fmt.Printf("==== %s ====\n", r.Name)
+		}
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, r.Err)
+			failed = true
+			continue
+		}
+		fmt.Print(r.Res.Summary())
+		if *annotate {
+			fmt.Println("\n---- annotated source ----")
+			fmt.Print(r.Res.AnnotatedSource())
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -33,6 +33,9 @@ type Harness struct {
 	Cal   simcore.Calibration
 	Out   io.Writer
 	Quick bool // scaled-down datasets (used by tests)
+	// Workers overrides the worker-pool size of the concurrent
+	// compile-time batch experiment (0 = all cores, minimum 2).
+	Workers int
 }
 
 // New builds a harness, measuring the calibration constants.

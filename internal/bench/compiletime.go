@@ -1,10 +1,13 @@
 package bench
 
 import (
+	"runtime"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/phase2"
+	"repro/internal/symbolic"
 )
 
 // CompileTimeRow reports the analysis cost for one benchmark program.
@@ -49,5 +52,90 @@ func (h *Harness) CompileTime() []CompileTimeRow {
 	for _, r := range rows {
 		h.printf("%-22s %9.0fµ %11.0fµ %11.0fµ\n", r.Benchmark, r.Classical, r.Base, r.New)
 	}
+	h.CompileTimeBatch(h.batchWorkers())
 	return rows
+}
+
+// BatchReport summarizes one whole-corpus concurrent batch analysis: the
+// serial vs concurrent driver cost and the symbolic-cache hit rate of a
+// cold corpus pass.
+type BatchReport struct {
+	Workers                      int
+	SerialMicros, ParallelMicros float64
+	Speedup                      float64
+	// Cache is the symbolic memoization snapshot after one cold
+	// whole-corpus pass (caches reset beforehand).
+	Cache symbolic.CacheStats
+}
+
+// CorpusSources returns the twelve Table-1 benchmarks as batch sources at
+// the New analysis level, each carrying its own positivity assumptions.
+func CorpusSources() []core.Source {
+	var out []core.Source
+	for _, b := range corpus.All() {
+		out = append(out, core.Source{
+			Name: b.Name,
+			Src:  b.Source,
+			Opt:  &core.Options{Level: phase2.LevelNew, AssumePositive: b.AssumePositive},
+		})
+	}
+	return out
+}
+
+// batchWorkers picks the worker count for the batch experiment: the
+// harness override when set, otherwise all available cores (minimum 2, so
+// the concurrent driver is always exercised).
+func (h *Harness) batchWorkers() int {
+	if h.Workers > 0 {
+		return h.Workers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// CompileTimeBatch measures the whole-corpus batch analysis serially and
+// with the concurrent driver, and reports the symbolic-cache hit rate of
+// one cold corpus pass.
+func (h *Harness) CompileTimeBatch(workers int) BatchReport {
+	reps := 10
+	if h.Quick {
+		reps = 3
+	}
+	sources := CorpusSources()
+	measure := func(w int) float64 {
+		t0 := time.Now()
+		for r := 0; r < reps; r++ {
+			for _, br := range core.AnalyzeBatch(sources, core.Options{Workers: w}) {
+				if br.Err != nil {
+					panic("bench: corpus source failed to analyze: " + br.Err.Error())
+				}
+			}
+		}
+		return float64(time.Since(t0).Microseconds()) / float64(reps)
+	}
+	rep := BatchReport{Workers: workers}
+	rep.SerialMicros = measure(1)
+	rep.ParallelMicros = measure(workers)
+	if rep.ParallelMicros > 0 {
+		rep.Speedup = rep.SerialMicros / rep.ParallelMicros
+	}
+
+	// Cache hit rate of a cold pass: reset, analyze the corpus once,
+	// snapshot. (The timing runs above ran warm, as a compiler daemon
+	// would.)
+	symbolic.ResetCache()
+	core.AnalyzeBatch(sources, core.Options{Workers: 1})
+	rep.Cache = symbolic.ReadCacheStats()
+
+	h.printf("\nConcurrent batch analysis of the 12-benchmark corpus (AnalyzeBatch)\n")
+	h.printf("serial (1 worker):      %8.0fµ\n", rep.SerialMicros)
+	h.printf("parallel (%d workers):   %8.0fµ  (%.2fx)\n", rep.Workers, rep.ParallelMicros, rep.Speedup)
+	c := rep.Cache
+	h.printf("symbolic cache, cold corpus pass: %.1f%% hit rate (simplify %d/%d, compare %d/%d, %d entries, %d interned, %d evictions)\n",
+		100*c.HitRate(), c.SimplifyHits, c.SimplifyHits+c.SimplifyMisses,
+		c.CompareHits, c.CompareHits+c.CompareMisses, c.Entries, c.Interned, c.Evictions)
+	return rep
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/phase2"
 	"repro/internal/property"
 	"repro/internal/ranges"
+	"repro/internal/sched"
 	"repro/internal/symbolic"
 )
 
@@ -47,6 +48,12 @@ type Options struct {
 	Inline bool
 	// Ablate disables individual analysis capabilities (ablation runs).
 	Ablate phase2.Opts
+	// Workers bounds the analysis worker pool. Within one program, Pass 1
+	// (per-function array analysis) and Pass 2 (per-nest dependence
+	// planning) fan out over up to Workers goroutines; AnalyzeBatch
+	// additionally fans out across sources. 0 or 1 analyzes serially.
+	// Results are bit-identical for every worker count.
+	Workers int
 }
 
 // Result is a completed analysis of one program.
@@ -75,8 +82,52 @@ func AnalyzeProgram(prog *cminus.Program, opt Options) *Result {
 	for _, sym := range opt.AssumePositive {
 		dict.Set(sym, symbolic.One, nil)
 	}
-	plan := parallelize.Run(prog, opt.Level, &parallelize.Options{Assume: dict, Ablate: opt.Ablate})
+	plan := parallelize.Run(prog, opt.Level, &parallelize.Options{Assume: dict, Ablate: opt.Ablate, Workers: opt.Workers})
 	return &Result{Plan: plan, Source: prog}
+}
+
+// Source is one named program in a batch analysis.
+type Source struct {
+	// Name identifies the source in results (e.g. a file name).
+	Name string
+	// Src is the mini-C program text.
+	Src string
+	// Opt overrides the batch-level options for this source (per-source
+	// assumptions, level, …). Nil uses the batch options. The batch
+	// worker-pool size always comes from the batch options.
+	Opt *Options
+}
+
+// BatchResult pairs one batch source with its analysis outcome.
+type BatchResult struct {
+	Name string
+	Res  *Result
+	Err  error
+}
+
+// AnalyzeBatch analyzes many programs in one invocation, fanning out over
+// opt.Workers goroutines (0 or 1 = serial). Results are returned in input
+// order; a source that fails to parse reports its error in its own slot
+// without affecting the rest of the batch. Each analysis is independent
+// and the shared symbolic caches are order-insensitive, so the results
+// are bit-identical to analyzing each source serially.
+func AnalyzeBatch(sources []Source, opt Options) []*BatchResult {
+	out := make([]*BatchResult, len(sources))
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sched.For(len(sources), sched.Options{Workers: workers}, func(i int) {
+		s := sources[i]
+		o := opt
+		if s.Opt != nil {
+			o = *s.Opt
+			o.Workers = opt.Workers
+		}
+		res, err := Analyze(s.Src, o)
+		out[i] = &BatchResult{Name: s.Name, Res: res, Err: err}
+	})
+	return out
 }
 
 // Properties returns the subscript-array monotonicity facts the analysis

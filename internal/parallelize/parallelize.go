@@ -16,6 +16,7 @@ import (
 	"repro/internal/phase2"
 	"repro/internal/property"
 	"repro/internal/ranges"
+	"repro/internal/sched"
 )
 
 // LoopPlan is the parallelization decision for one loop.
@@ -72,6 +73,13 @@ type Options struct {
 	Assume *ranges.Dict
 	// Ablate toggles individual analysis capabilities (ablation studies).
 	Ablate phase2.Opts
+	// Workers bounds the analysis worker pool: Pass 1 (per-function array
+	// analysis) and Pass 2 (per-nest dependence planning) fan out over up
+	// to Workers goroutines. 0 or 1 analyzes serially. The plan is
+	// bit-identical for every worker count: per-function analyses are
+	// independent, property databases merge in sorted function-name order,
+	// and per-nest decisions merge in source order.
+	Workers int
 }
 
 // Run parallelizes a program at the given analysis level.
@@ -83,18 +91,42 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 	if dict == nil {
 		dict = ranges.New()
 	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	plan := &Plan{Level: level, Props: property.NewDB(), Funcs: map[string]*FuncPlan{}, source: prog}
 
-	// Pass 1: array analysis over every function; merge properties (the
+	// Pass 1: array analysis over every function, fanned out over the
+	// worker pool. Each worker analyzes into its own pushed range scope
+	// and its own property database, so the analyses are independent; the
+	// shared parent dictionary is only read.
+	var funcs []*cminus.FuncDecl
+	for _, fn := range prog.Funcs {
+		if fn.Body != nil {
+			funcs = append(funcs, fn)
+		}
+	}
+	results := make([]*phase2.FuncAnalysis, len(funcs))
+	sched.For(len(funcs), sched.Options{Workers: workers}, func(i int) {
+		results[i] = phase2.AnalyzeFuncOpts(funcs[i], level, dict.Push(), opts.Ablate)
+	})
+
+	// Merge the per-function property databases in sorted function-name
+	// order — a deterministic order independent of worker scheduling (the
 	// paper inline-expands so filling loops and using loops share scope —
 	// sharing the database plays the same role).
 	analyses := map[string]*phase2.FuncAnalysis{}
-	for _, fn := range prog.Funcs {
-		if fn.Body == nil {
-			continue
-		}
-		fa := phase2.AnalyzeFuncOpts(fn, level, dict.Push(), opts.Ablate)
-		analyses[fn.Name] = fa
+	for i, fn := range funcs {
+		analyses[fn.Name] = results[i]
+	}
+	names := make([]string, 0, len(analyses))
+	for n := range analyses {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fa := analyses[n]
 		for _, arr := range fa.Props.Arrays() {
 			for _, p := range fa.Props.Lookup(arr) {
 				plan.Props.Add(p)
@@ -102,19 +134,38 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 		}
 	}
 
-	// Pass 2: dependence testing, outermost first.
+	// Pass 2: dependence testing, outermost first, one job per top-level
+	// nest over the same pool. The tester reads the merged property
+	// database and the range dictionary, both frozen by now; each job
+	// writes decisions into its own map, merged in source order below.
 	tester := depend.NewTester(plan.Props, dict)
-	for _, fn := range prog.Funcs {
+	type nestJob struct {
+		fa   *phase2.FuncAnalysis
+		loop *cminus.ForStmt
+	}
+	var jobs []nestJob
+	for _, fn := range funcs {
 		fa := analyses[fn.Name]
-		if fa == nil {
-			continue
-		}
-		fp := &FuncPlan{Name: fn.Name, Analysis: fa, Loops: map[string]*LoopPlan{}}
-		plan.Funcs[fn.Name] = fp
+		plan.Funcs[fn.Name] = &FuncPlan{Name: fn.Name, Analysis: fa, Loops: map[string]*LoopPlan{}}
 		for _, top := range topLoops(fa.Func.Body) {
-			planNest(tester, fa, fp, top, 1)
+			jobs = append(jobs, nestJob{fa: fa, loop: top})
 		}
-		fp.Annotated = annotate(fa.Func, fp)
+	}
+	planned := make([]map[string]*LoopPlan, len(jobs))
+	sched.For(len(jobs), sched.Options{Workers: workers}, func(i int) {
+		m := map[string]*LoopPlan{}
+		planNest(tester, jobs[i].fa, m, jobs[i].loop, 1)
+		planned[i] = m
+	})
+	for i, job := range jobs {
+		fp := plan.Funcs[job.fa.Func.Name]
+		for lbl, lp := range planned[i] {
+			fp.Loops[lbl] = lp
+		}
+	}
+	for _, fn := range funcs {
+		fp := plan.Funcs[fn.Name]
+		fp.Annotated = annotate(analyses[fn.Name].Func, fp)
 	}
 	return plan
 }
@@ -122,16 +173,16 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 // planNest decides one loop; when it is not parallelizable, descends into
 // the nested loops (the classical behaviour the paper observes: inner
 // loops get parallelized, paying fork-join per outer iteration).
-func planNest(tester *depend.Tester, fa *phase2.FuncAnalysis, fp *FuncPlan, loop *cminus.ForStmt, depth int) {
+func planNest(tester *depend.Tester, fa *phase2.FuncAnalysis, loops map[string]*LoopPlan, loop *cminus.ForStmt, depth int) {
 	d := tester.Analyze(loop, fa.Norm.Loops[loop.Label])
 	lp := &LoopPlan{Label: loop.Label, Decision: d, Depth: depth}
-	fp.Loops[loop.Label] = lp
+	loops[loop.Label] = lp
 	if d.Parallel {
 		lp.Chosen = true
 		return
 	}
 	for _, inner := range topLoops(loop.Body) {
-		planNest(tester, fa, fp, inner, depth+1)
+		planNest(tester, fa, loops, inner, depth+1)
 	}
 }
 

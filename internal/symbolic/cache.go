@@ -1,0 +1,328 @@
+package symbolic
+
+// Memoization layer for the symbolic engine: an expression interner plus
+// bounded, sharded caches for Simplify and canonical-string comparison.
+//
+// The analysis recanonicalizes the same expressions thousands of times per
+// loop nest (every dependence pair, every sign proof and every aggregation
+// step re-simplifies its operands), so Simplify results are memoized under
+// a structurally injective key. All caches are safe for concurrent use;
+// because Simplify is deterministic, a cached result is bit-identical to a
+// recomputed one, which is what makes the concurrent batch driver's output
+// reproducible. Hit/miss/eviction counters are exported for the
+// compile-time experiments.
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// cacheShardCount shards the key space to keep lock contention low
+	// under concurrent analysis workers. Must be a power of two.
+	cacheShardCount = 16
+	// cacheShardCap bounds each shard; a full shard is dropped wholesale
+	// (epoch eviction), which keeps the cache O(1) per operation and its
+	// memory bounded without LRU bookkeeping.
+	cacheShardCap = 4096
+)
+
+type cacheShard[T any] struct {
+	mu sync.RWMutex
+	m  map[string]T
+}
+
+// shardedCache is a bounded concurrent map from structural keys to values.
+type shardedCache[T any] struct {
+	shards    [cacheShardCount]cacheShard[T]
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// fnv32a hashes a key to pick its shard.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *shardedCache[T]) shardFor(key string) *cacheShard[T] {
+	return &c.shards[fnv32a(key)&(cacheShardCount-1)]
+}
+
+func (c *shardedCache[T]) get(key string) (T, bool) {
+	s := c.shardFor(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+func (c *shardedCache[T]) put(key string, v T) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]T, 64)
+	} else if len(s.m) >= cacheShardCap {
+		s.m = make(map[string]T, 64)
+		c.evictions.Add(1)
+	}
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+func (c *shardedCache[T]) reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}
+
+func (c *shardedCache[T]) entries() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+var (
+	cacheOff    atomic.Bool        // zero value: caching enabled
+	simpCache   shardedCache[Expr]   // structural key -> simplified form
+	canonCache  shardedCache[string] // structural key -> canonical string
+	internCache shardedCache[Expr]   // structural key -> shared instance
+	internCount atomic.Int64
+)
+
+// SetCacheEnabled toggles the memoization layer (used by tests and A/B
+// benchmarks) and returns the previous setting. The cache is enabled by
+// default; disabling does not clear stored entries.
+func SetCacheEnabled(on bool) bool {
+	return !cacheOff.Swap(!on)
+}
+
+// CacheEnabled reports whether the memoization layer is active.
+func CacheEnabled() bool { return !cacheOff.Load() }
+
+// ResetCache empties every cache and zeroes the counters.
+func ResetCache() {
+	simpCache.reset()
+	canonCache.reset()
+	internCache.reset()
+	internCount.Store(0)
+}
+
+// CacheStats is a snapshot of the memoization counters.
+type CacheStats struct {
+	// SimplifyHits/Misses count Simplify memo lookups.
+	SimplifyHits, SimplifyMisses int64
+	// CompareHits/Misses count canonical-string lookups (Compare/Equal).
+	CompareHits, CompareMisses int64
+	// Evictions counts whole-shard drops across all caches.
+	Evictions int64
+	// Interned counts distinct expressions held by the interner.
+	Interned int64
+	// Entries is the current number of memoized Simplify results.
+	Entries int
+}
+
+// HitRate returns the combined hit fraction across the Simplify and
+// Compare caches (0 when no lookups happened).
+func (s CacheStats) HitRate() float64 {
+	total := s.SimplifyHits + s.SimplifyMisses + s.CompareHits + s.CompareMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SimplifyHits+s.CompareHits) / float64(total)
+}
+
+// ReadCacheStats returns a snapshot of the cache counters.
+func ReadCacheStats() CacheStats {
+	return CacheStats{
+		SimplifyHits:   simpCache.hits.Load(),
+		SimplifyMisses: simpCache.misses.Load(),
+		CompareHits:    canonCache.hits.Load(),
+		CompareMisses:  canonCache.misses.Load(),
+		Evictions:      simpCache.evictions.Load() + canonCache.evictions.Load() + internCache.evictions.Load(),
+		Interned:       internCount.Load(),
+		Entries:        simpCache.entries(),
+	}
+}
+
+// Intern returns a shared instance structurally identical to e: repeated
+// calls with equal expressions return the same instance, so analyses that
+// materialize the same expression many times share one copy. Interning is
+// best-effort under concurrency (two racing callers may briefly each keep
+// their own copy); the returned expression is always structurally equal to
+// the argument.
+func Intern(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	key := structuralKey(e)
+	if v, ok := internCache.get(key); ok {
+		return v
+	}
+	internCache.put(key, e)
+	internCount.Add(1)
+	return e
+}
+
+// CanonicalString returns Simplify(e).String(), memoized. It is the
+// comparison key the engine sorts and deduplicates by.
+func CanonicalString(e Expr) string {
+	if e == nil {
+		return Bottom{}.String()
+	}
+	if cacheOff.Load() {
+		return Simplify(e).String()
+	}
+	key := structuralKey(e)
+	if s, ok := canonCache.get(key); ok {
+		return s
+	}
+	s := Simplify(e).String()
+	canonCache.put(key, s)
+	return s
+}
+
+// Compare orders two expressions by their canonical simplified form
+// (negative, zero, positive — the usual three-way contract). Compare(a, b)
+// == 0 coincides with Equal(a, b) for non-nil arguments.
+func Compare(a, b Expr) int {
+	return strings.Compare(CanonicalString(a), CanonicalString(b))
+}
+
+// ---- structural keys ----
+
+// structuralKey renders an injective encoding of e's structure. It differs
+// from String in that it loses nothing: Tagged conditions, the distinction
+// between Sym/Lambda/BigLambda with colliding renderings, and list arities
+// are all encoded, so two distinct expressions never share a key.
+func structuralKey(e Expr) string {
+	var b strings.Builder
+	appendKey(&b, e)
+	return b.String()
+}
+
+func appendKey(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		b.WriteByte('N')
+	case Int:
+		b.WriteByte('i')
+		b.WriteString(strconv.FormatInt(x.Val, 10))
+	case Sym:
+		keyName(b, 's', x.Name)
+	case Lambda:
+		keyName(b, 'l', x.Name)
+	case BigLambda:
+		keyName(b, 'G', x.Name)
+	case Add:
+		keyList(b, '+', x.Terms)
+	case Mul:
+		keyList(b, '*', x.Factors)
+	case Div:
+		b.WriteByte('/')
+		appendKey(b, x.Num)
+		appendKey(b, x.Den)
+	case Mod:
+		b.WriteByte('%')
+		appendKey(b, x.Num)
+		appendKey(b, x.Den)
+	case Min:
+		keyList(b, 'm', x.Args)
+	case Max:
+		keyList(b, 'M', x.Args)
+	case ArrayRef:
+		keyName(b, 'a', x.Name)
+		keyList(b, '[', x.Indices)
+	case Call:
+		keyName(b, 'c', x.Name)
+		keyList(b, '(', x.Args)
+	case Range:
+		b.WriteByte('R')
+		appendKey(b, x.Lo)
+		appendKey(b, x.Hi)
+	case Tagged:
+		b.WriteByte('T')
+		appendKey(b, x.Cond)
+		appendKey(b, x.E)
+	case Set:
+		keyList(b, '{', x.Items)
+	case Mono:
+		b.WriteByte('o')
+		if x.Strict {
+			b.WriteByte('S')
+		}
+		b.WriteString(strconv.Itoa(x.Dim))
+		b.WriteByte(':')
+		appendKey(b, x.Base)
+	case Bottom:
+		b.WriteByte('B')
+	case Cmp:
+		b.WriteByte('C')
+		b.WriteString(strconv.Itoa(int(x.Op)))
+		appendKey(b, x.L)
+		appendKey(b, x.R)
+	case And:
+		keyList(b, '&', x.Conds)
+	case Or:
+		keyList(b, '|', x.Conds)
+	case Not:
+		b.WriteByte('!')
+		appendKey(b, x.C)
+	case BoolLit:
+		if x.Val {
+			b.WriteString("b1")
+		} else {
+			b.WriteString("b0")
+		}
+	default:
+		// Unknown implementations fall back to a length-prefixed String.
+		s := e.String()
+		b.WriteByte('?')
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
+	}
+}
+
+// keyName writes a length-prefixed name so arbitrary names cannot collide
+// with neighbouring fields.
+func keyName(b *strings.Builder, tag byte, name string) {
+	b.WriteByte(tag)
+	b.WriteString(strconv.Itoa(len(name)))
+	b.WriteByte(':')
+	b.WriteString(name)
+}
+
+// keyList writes an arity-prefixed child list.
+func keyList(b *strings.Builder, tag byte, es []Expr) {
+	b.WriteByte(tag)
+	b.WriteString(strconv.Itoa(len(es)))
+	b.WriteByte(':')
+	for _, e := range es {
+		appendKey(b, e)
+	}
+	b.WriteByte(';')
+}

@@ -403,7 +403,7 @@ func Equal(a, b Expr) bool {
 	if a == nil || b == nil {
 		return a == nil && b == nil
 	}
-	return Simplify(a).String() == Simplify(b).String()
+	return CanonicalString(a) == CanonicalString(b)
 }
 
 // IsBottom reports whether e is ⊥.

@@ -12,10 +12,34 @@ import (
 // arithmetic it participates in. Boolean expressions are simplified
 // recursively. The result is deterministic, so String equality on
 // simplified expressions is a sound equality test.
+//
+// Results are memoized in a bounded, sharded, concurrency-safe cache (see
+// cache.go); because simplification is deterministic, a cached result is
+// identical to a recomputed one.
 func Simplify(e Expr) Expr {
 	if e == nil {
 		return Bottom{}
 	}
+	switch e.(type) {
+	// Leaves are already canonical; skip the cache key entirely.
+	case Int, Sym, Lambda, BigLambda, Bottom, BoolLit:
+		return e
+	}
+	if cacheOff.Load() {
+		return simplify1(e)
+	}
+	key := structuralKey(e)
+	if v, ok := simpCache.get(key); ok {
+		return v
+	}
+	v := Intern(simplify1(e))
+	simpCache.put(key, v)
+	return v
+}
+
+// simplify1 performs one full (uncached) canonicalization of e; recursive
+// work on sub-expressions still goes through the memoized Simplify.
+func simplify1(e Expr) Expr {
 	switch x := e.(type) {
 	case Int, Sym, Lambda, BigLambda, Bottom, BoolLit:
 		return e

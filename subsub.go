@@ -76,3 +76,18 @@ func NewFloatArray(name string, dims ...int64) *Array {
 func Analyze(src string, opt Options) (*Result, error) {
 	return core.Analyze(src, opt)
 }
+
+// Source is one named program in a batch analysis.
+type Source = core.Source
+
+// BatchResult pairs one batch source with its analysis outcome.
+type BatchResult = core.BatchResult
+
+// AnalyzeBatch analyzes many programs in one invocation, fanning out over
+// Options.Workers goroutines (0 or 1 = serial). Results come back in
+// input order and are guaranteed bit-identical for every worker count —
+// plans, annotated sources and property databases all match the serial
+// driver byte for byte.
+func AnalyzeBatch(sources []Source, opt Options) []*BatchResult {
+	return core.AnalyzeBatch(sources, opt)
+}
