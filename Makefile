@@ -1,17 +1,24 @@
 # Build/test gates for the subscripted-subscript analysis repo.
 #
-#   make check   — the full pre-merge gate: vet + tests + race detector
-#   make race    — go test -race ./... (the concurrent driver and the
-#                  sharded symbolic cache must stay race-clean)
+#   make check   — the full pre-merge gate: fmt + vet + tests + race
+#                  detector + one-iteration bench smoke
+#   make fmt     — fail if any file is not gofmt-clean
+#   make race    — go test -race ./... (the concurrent driver, the
+#                  sharded symbolic cache, and the parallel loop driver
+#                  of the compiled engine must stay race-clean)
 #   make fuzz    — short fuzz session over the parser and simplifier
-#   make bench   — batch-driver and cache micro-benchmarks
+#   make bench   — batch-driver, cache, and interpreter benchmarks
 
 GO ?= go
 
-.PHONY: build vet test race check fuzz bench experiments
+.PHONY: build fmt vet test race check fuzz bench benchsmoke experiments
 
 build:
 	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -22,14 +29,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: vet test race
+# One iteration per benchmark: catches compile-pass and harness
+# regressions in the gate without waiting for stable numbers.
+benchsmoke:
+	$(GO) test -run NONE -bench 'BenchmarkInterp' -benchtime=1x ./internal/corpus/
+
+check: fmt vet test race benchsmoke
 
 fuzz:
 	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime 20s ./internal/cminus/
 	$(GO) test -run FuzzSimplify -fuzz FuzzSimplify -fuzztime 20s ./internal/symbolic/
 
 bench:
-	$(GO) test -run NONE -bench 'AnalyzeBatch|SimplifyCached' -benchmem ./...
+	$(GO) test -run NONE -bench 'AnalyzeBatch|SimplifyCached|BenchmarkInterp' -benchmem ./...
 
 experiments:
 	$(GO) run ./cmd/benchrunner -experiment all

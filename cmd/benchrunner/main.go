@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	benchrunner [-experiment table1|fig13|fig14|fig15|fig16|fig17|all] [-quick]
+//	benchrunner [-experiment table1|fig13|fig14|fig15|fig16|fig17|ablation|compiletime|runtime|all] [-quick]
+//
+// The runtime experiment measures the real execution engines (tree
+// oracle vs compiled) over the corpus workloads and writes the rows to
+// -runtime-json (default BENCH_runtime.json).
 package main
 
 import (
@@ -16,10 +20,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "table1, fig13, fig14, fig15, fig16, fig17, ablation, compiletime or all")
+	exp := flag.String("experiment", "all", "table1, fig13, fig14, fig15, fig16, fig17, ablation, compiletime, runtime or all")
 	quick := flag.Bool("quick", false, "use scaled-down datasets")
 	validate := flag.Bool("validate", true, "run the 2-worker real-execution soundness check")
 	workers := flag.Int("workers", 0, "worker pool for the compile-time batch experiment (0 = all cores)")
+	runtimeJSON := flag.String("runtime-json", "BENCH_runtime.json", "output path for the runtime experiment's JSON rows (empty = don't write)")
 	flag.Parse()
 
 	h := bench.New(os.Stdout, *quick)
@@ -54,13 +59,18 @@ func main() {
 			h.Ablation()
 		case "compile", "compiletime":
 			h.CompileTime()
+		case "runtime":
+			if _, err := h.Runtime(*runtimeJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: runtime experiment: %v\n", err)
+				os.Exit(1)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "compile"} {
+		for _, name := range []string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "compile", "runtime"} {
 			run(name)
 		}
 		return

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// RuntimeRow is one machine-readable measurement of the real execution
+// engines over a corpus workload: wall-clock seconds for one workload
+// run under (engine, workers), plus the speedup against the tree-walking
+// oracle at the same worker count.
+type RuntimeRow struct {
+	Kernel        string  `json:"kernel"`
+	Engine        string  `json:"engine"`
+	Workers       int     `json:"workers"`
+	Seconds       float64 `json:"seconds"`
+	SpeedupVsTree float64 `json:"speedup_vs_tree"`
+}
+
+// RuntimeReport is the BENCH_runtime.json document: the perf trajectory
+// of the execution substrate across PRs.
+type RuntimeReport struct {
+	GOOS   string       `json:"goos"`
+	GOARCH string       `json:"goarch"`
+	Cores  int          `json:"cores"`
+	Rows   []RuntimeRow `json:"rows"`
+}
+
+// runtimeKernels are the workloads the runtime experiment measures (the
+// three headline subscripted-subscript kernels plus one classical one).
+var runtimeKernels = []string{"AMGmk", "UA(transf)", "SDDMM", "CG"}
+
+// Runtime measures real (not simulated) execution time of the corpus
+// workloads under both engines, serial and 2-worker parallel, prints a
+// table, and — when jsonPath is non-empty — writes the rows there as
+// machine-readable JSON. The workload is rebuilt from scratch for every
+// repetition so repeated runs never feed a kernel its own output.
+func (h *Harness) Runtime(jsonPath string) (*RuntimeReport, error) {
+	scale, reps := corpus.ScaleBench, 3
+	if h.Quick {
+		scale, reps = corpus.ScaleQuick, 1
+	}
+	rep := &RuntimeReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Cores: runtime.NumCPU()}
+
+	h.printf("Runtime: real execution, tree oracle vs compiled engine (best of %d)\n", reps)
+	h.printf("%-12s %-9s %-8s %12s %14s\n", "kernel", "engine", "workers", "seconds", "vs tree")
+	for _, name := range runtimeKernels {
+		b := corpus.ByName(name)
+		treeSecs := map[int]float64{}
+		for _, engine := range []string{"tree", "compiled"} {
+			for _, workers := range []int{1, 2} {
+				secs, err := measureRuntime(b, engine, workers, scale, reps)
+				if err != nil {
+					return nil, err
+				}
+				speedup := 1.0
+				if engine == "tree" {
+					treeSecs[workers] = secs
+				} else if secs > 0 {
+					speedup = treeSecs[workers] / secs
+				}
+				rep.Rows = append(rep.Rows, RuntimeRow{
+					Kernel: name, Engine: engine, Workers: workers,
+					Seconds: secs, SpeedupVsTree: speedup,
+				})
+				h.printf("%-12s %-9s %-8d %12.6f %13.2fx\n", name, engine, workers, secs, speedup)
+			}
+		}
+	}
+	h.printf("\n")
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// measureRuntime times one (kernel, engine, workers) cell: the machine
+// is built and warmed once (plan + compile outside the timed section),
+// then each repetition runs a freshly built workload.
+func measureRuntime(b *corpus.Benchmark, engine string, workers int, scale corpus.Scale, reps int) (float64, error) {
+	warm := corpus.NewWork(b, scale)
+	m, err := warm.NewMachine(workers)
+	if err != nil {
+		return 0, err
+	}
+	m.Interp = engine
+	if err := warm.Run(m); err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		w := corpus.NewWork(b, scale)
+		t0 := time.Now()
+		if err := w.Run(m); err != nil {
+			return 0, err
+		}
+		secs := time.Since(t0).Seconds()
+		if r == 0 || secs < best {
+			best = secs
+		}
+	}
+	return best, nil
+}

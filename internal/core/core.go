@@ -201,7 +201,26 @@ func (r *Result) Verify(fn string, workers int, args []interp.Arg, outputs []str
 		if err := m.Call(fn, copied...); err != nil {
 			return nil, err
 		}
-		return m.Arrays, nil
+		// Name the observable end state: parameter arrays under their
+		// parameter names (bindings are call-scoped, not left behind in
+		// m.Arrays), then global arrays.
+		named := map[string]*interp.Array{}
+		if decl := m.Prog.Func(fn); decl != nil {
+			for i, prm := range decl.Params {
+				if i >= len(copied) {
+					break
+				}
+				if arr, ok := copied[i].(*interp.Array); ok {
+					named[prm.Name] = arr
+				}
+			}
+		}
+		for name, a := range m.Arrays {
+			if _, ok := named[name]; !ok {
+				named[name] = a
+			}
+		}
+		return named, nil
 	}
 	serial, err := run(false)
 	if err != nil {

@@ -2,7 +2,6 @@ package interp
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/cminus"
 )
@@ -10,19 +9,21 @@ import (
 // callUser executes a user-defined function called from program code:
 // scalar parameters bind by value, array/pointer parameters bind by
 // reference (the argument must be a plain identifier naming an array).
-// The callee's parameter names temporarily shadow same-named arrays.
+// Array bindings made by the callee — parameter names and local array
+// declarations — are scoped to the call via the machine shadow stack.
 func (m *Machine) callUser(fn *cminus.FuncDecl, c *cminus.CallExpr, e *env) (Value, error) {
 	if len(c.Args) != len(fn.Params) {
 		return Value{}, fmt.Errorf("interp: %s expects %d args, got %d at %s",
 			fn.Name, len(fn.Params), len(c.Args), c.P)
 	}
 	callee := &env{vars: map[string]*Value{}}
-	type shadow struct {
-		name string
-		arr  *Array
-		had  bool
-	}
-	var shadows []shadow
+	mark := len(m.arrShadows)
+	prevMark := m.callMark
+	m.callMark = mark
+	defer func() {
+		m.restoreArrays(mark)
+		m.callMark = prevMark
+	}()
 	for i, prm := range fn.Params {
 		if prm.PtrDeep > 0 || len(prm.Dims) > 0 {
 			id, ok := c.Args[i].(*cminus.Ident)
@@ -35,28 +36,15 @@ func (m *Machine) callUser(fn *cminus.FuncDecl, c *cminus.CallExpr, e *env) (Val
 				return Value{}, fmt.Errorf("interp: unknown array %q passed to %s at %s",
 					id.Name, fn.Name, c.P)
 			}
-			prev, had := m.Arrays[prm.Name]
-			shadows = append(shadows, shadow{name: prm.Name, arr: prev, had: had})
-			m.Arrays[prm.Name] = arr
+			m.bindArray(prm.Name, arr)
 			continue
 		}
 		v, err := m.eval(c.Args[i], e)
 		if err != nil {
 			return Value{}, err
 		}
-		isFloat := strings.Contains(prm.Type, "double") || strings.Contains(prm.Type, "float")
-		callee.define(prm.Name, convert(v, isFloat))
+		callee.define(prm.Name, convert(v, cminus.IsFloatType(prm.Type)))
 	}
-	defer func() {
-		for i := len(shadows) - 1; i >= 0; i-- {
-			s := shadows[i]
-			if s.had {
-				m.Arrays[s.name] = s.arr
-			} else {
-				delete(m.Arrays, s.name)
-			}
-		}
-	}()
 
 	prevRet := m.retVal
 	m.retVal = Value{}
@@ -69,6 +57,5 @@ func (m *Machine) callUser(fn *cminus.FuncDecl, c *cminus.CallExpr, e *env) (Val
 	if err != nil {
 		return Value{}, err
 	}
-	isFloat := strings.Contains(fn.RetType, "double") || strings.Contains(fn.RetType, "float")
-	return convert(ret, isFloat), nil
+	return convert(ret, cminus.IsFloatType(fn.RetType)), nil
 }

@@ -21,6 +21,10 @@ type Machine struct {
 	// DynamicChunk, when > 0, uses dynamic scheduling with the given
 	// chunk size instead of static chunking.
 	DynamicChunk int
+	// Interp selects the execution engine: "" or "compiled" for the
+	// slot-resolved closure engine (default), "tree" for the original
+	// tree-walking oracle.
+	Interp string
 	// Globals holds global scalars.
 	Globals map[string]*Value
 	// Arrays holds all arrays (global or passed in by the host).
@@ -29,6 +33,49 @@ type Machine struct {
 	Stats Stats
 	// retVal carries the value of the innermost executing return.
 	retVal Value
+	// comp caches the compiled program; invalidated when Plan changes.
+	comp *compiledProgram
+	// arrShadows scopes m.Arrays bindings (parameter arrays, local
+	// array declarations) to the call that made them, so repeated or
+	// nested calls never leak bindings into the global namespace.
+	arrShadows []arrShadow
+	// callMark is the arrShadows watermark of the innermost call,
+	// used to avoid shadow-stack growth for rebinds within one call.
+	callMark int
+}
+
+// arrShadow records one scoped m.Arrays binding for undo.
+type arrShadow struct {
+	name string
+	prev *Array
+	had  bool
+}
+
+// bindArray installs a call-scoped array binding. The previous binding
+// (if any) is recorded once per call so restoreArrays can undo it.
+func (m *Machine) bindArray(name string, a *Array) {
+	for i := len(m.arrShadows) - 1; i >= m.callMark; i-- {
+		if m.arrShadows[i].name == name {
+			m.Arrays[name] = a
+			return
+		}
+	}
+	prev, had := m.Arrays[name]
+	m.arrShadows = append(m.arrShadows, arrShadow{name: name, prev: prev, had: had})
+	m.Arrays[name] = a
+}
+
+// restoreArrays unwinds scoped bindings down to the given watermark.
+func (m *Machine) restoreArrays(mark int) {
+	for i := len(m.arrShadows) - 1; i >= mark; i-- {
+		sh := m.arrShadows[i]
+		if sh.had {
+			m.Arrays[sh.name] = sh.prev
+		} else {
+			delete(m.Arrays, sh.name)
+		}
+	}
+	m.arrShadows = m.arrShadows[:mark]
 }
 
 // Stats records execution events for tests and reports.
@@ -65,7 +112,7 @@ func New(prog *cminus.Program) (*Machine, error) {
 		Arrays:  map[string]*Array{},
 	}
 	for _, g := range prog.Globals {
-		isFloat := strings.Contains(g.Type, "double") || strings.Contains(g.Type, "float")
+		isFloat := cminus.IsFloatType(g.Type)
 		for _, it := range g.Items {
 			if len(it.Dims) > 0 {
 				dims := make([]int64, len(it.Dims))
@@ -107,8 +154,21 @@ func convert(v Value, toFloat bool) Value {
 // Arg is an argument to Call: a scalar Value or an *Array.
 type Arg interface{}
 
-// Call executes the named function with the given arguments.
+// Call executes the named function with the given arguments on the
+// engine selected by Interp ("" / "compiled" for the slot-resolved
+// closure engine, "tree" for the tree-walking oracle).
 func (m *Machine) Call(name string, args ...Arg) error {
+	switch m.Interp {
+	case "", "compiled":
+		return m.callCompiled(name, args)
+	case "tree":
+		return m.callTree(name, args)
+	}
+	return fmt.Errorf("interp: unknown engine %q", m.Interp)
+}
+
+// callTree is Machine.Call on the tree-walking oracle.
+func (m *Machine) callTree(name string, args []Arg) error {
 	fn := m.Prog.Func(name)
 	if fn == nil || fn.Body == nil {
 		return fmt.Errorf("interp: no function %q", name)
@@ -116,14 +176,22 @@ func (m *Machine) Call(name string, args ...Arg) error {
 	if len(args) != len(fn.Params) {
 		return fmt.Errorf("interp: %s expects %d args, got %d", name, len(fn.Params), len(args))
 	}
+	mark := len(m.arrShadows)
+	prevMark := m.callMark
+	m.callMark = mark
+	defer func() {
+		m.restoreArrays(mark)
+		m.callMark = prevMark
+	}()
 	e := &env{vars: map[string]*Value{}}
 	for i, prm := range fn.Params {
 		switch a := args[i].(type) {
 		case *Array:
-			// Bind by reference under the parameter name.
-			m.Arrays[prm.Name] = a
+			// Bind by reference under the parameter name, scoped to
+			// this call.
+			m.bindArray(prm.Name, a)
 		case Value:
-			e.define(prm.Name, convert(a, strings.Contains(prm.Type, "double") || strings.Contains(prm.Type, "float")))
+			e.define(prm.Name, convert(a, cminus.IsFloatType(prm.Type)))
 		case int:
 			e.define(prm.Name, IntVal(int64(a)))
 		case int64:
@@ -134,7 +202,12 @@ func (m *Machine) Call(name string, args ...Arg) error {
 			return fmt.Errorf("interp: unsupported argument %T", args[i])
 		}
 	}
-	return m.execBlock(fn.Body, e, m.funcPlan(name))
+	err := m.execBlock(fn.Body, e, m.funcPlan(name))
+	if err == errReturn {
+		// A top-level return is a normal completion of the call.
+		err = nil
+	}
+	return err
 }
 
 // funcPlan is a nil-safe accessor.
@@ -157,7 +230,7 @@ func (m *Machine) execBlock(blk *cminus.Block, e *env, fp *parallelize.FuncPlan)
 func (m *Machine) execStmt(s cminus.Stmt, e *env, fp *parallelize.FuncPlan) error {
 	switch x := s.(type) {
 	case *cminus.DeclStmt:
-		isFloat := strings.Contains(x.Type, "double") || strings.Contains(x.Type, "float")
+		isFloat := cminus.IsFloatType(x.Type)
 		for _, it := range x.Items {
 			if len(it.Dims) > 0 {
 				dims := make([]int64, len(it.Dims))
@@ -169,9 +242,9 @@ func (m *Machine) execStmt(s cminus.Stmt, e *env, fp *parallelize.FuncPlan) erro
 					dims[i] = v.AsInt()
 				}
 				if isFloat {
-					m.Arrays[it.Name] = NewFloatArray(it.Name, dims...)
+					m.bindArray(it.Name, NewFloatArray(it.Name, dims...))
 				} else {
-					m.Arrays[it.Name] = NewIntArray(it.Name, dims...)
+					m.bindArray(it.Name, NewIntArray(it.Name, dims...))
 				}
 				continue
 			}
@@ -465,7 +538,7 @@ func (m *Machine) eval(x cminus.Expr, e *env) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		if strings.Contains(t.Type, "double") || strings.Contains(t.Type, "float") {
+		if cminus.IsFloatType(t.Type) {
 			return FloatVal(v.AsFloat()), nil
 		}
 		return IntVal(v.AsInt()), nil

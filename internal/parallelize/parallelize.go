@@ -28,6 +28,11 @@ type LoopPlan struct {
 	Chosen bool
 	// Depth is the loop's nesting depth within its function (1 = outermost).
 	Depth int
+	// Index is the dense source-order loop id within the annotated
+	// function (see cminus.NumberLoops), or -1 when the loop does not
+	// appear in the annotated body. Execution engines that pre-resolve
+	// loops look plans up by this id instead of probing the label map.
+	Index int
 }
 
 // FuncPlan is the plan for one function.
@@ -39,6 +44,39 @@ type FuncPlan struct {
 	Loops map[string]*LoopPlan
 	// Annotated is the normalized function with pragmas on chosen loops.
 	Annotated *cminus.FuncDecl
+	// ByIndex holds the loop plans of the annotated body in source order:
+	// ByIndex[i] is the plan for the i-th for-statement (nil when no
+	// decision exists for that loop).
+	ByIndex []*LoopPlan
+}
+
+// LoopAt returns the plan for the annotated function's i-th source-order
+// loop, or nil.
+func (fp *FuncPlan) LoopAt(i int) *LoopPlan {
+	if fp == nil || i < 0 || i >= len(fp.ByIndex) {
+		return nil
+	}
+	return fp.ByIndex[i]
+}
+
+// indexLoops assigns dense ids: it numbers the annotated body's loops in
+// source order and records the mapping both ways (LoopPlan.Index and
+// FuncPlan.ByIndex).
+func (fp *FuncPlan) indexLoops() {
+	for _, lp := range fp.Loops {
+		lp.Index = -1
+	}
+	if fp.Annotated == nil {
+		return
+	}
+	loops := cminus.NumberLoops(fp.Annotated.Body)
+	fp.ByIndex = make([]*LoopPlan, len(loops))
+	for i, loop := range loops {
+		if lp := fp.Loops[loop.Label]; lp != nil {
+			lp.Index = i
+			fp.ByIndex[i] = lp
+		}
+	}
 }
 
 // Plan is a whole-program parallelization plan.
@@ -166,6 +204,7 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 	for _, fn := range funcs {
 		fp := plan.Funcs[fn.Name]
 		fp.Annotated = annotate(analyses[fn.Name].Func, fp)
+		fp.indexLoops()
 	}
 	return plan
 }

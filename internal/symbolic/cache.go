@@ -106,7 +106,7 @@ func (c *shardedCache[T]) entries() int {
 }
 
 var (
-	cacheOff    atomic.Bool        // zero value: caching enabled
+	cacheOff    atomic.Bool          // zero value: caching enabled
 	simpCache   shardedCache[Expr]   // structural key -> simplified form
 	canonCache  shardedCache[string] // structural key -> canonical string
 	internCache shardedCache[Expr]   // structural key -> shared instance

@@ -147,16 +147,24 @@ func simplifyMinMax(args []Expr, isMin bool) Expr {
 		}
 		rest = append(rest, NewInt(best))
 	}
-	// Deduplicate.
+	// Deduplicate and order by rendered form, computing each key once:
+	// String() re-renders the whole tree per call, so comparator-driven
+	// calls turn an O(n log n) sort into repeated full renders.
+	keys := make([]string, len(rest))
+	for i, a := range rest {
+		keys[i] = a.String()
+	}
 	seen := map[string]bool{}
-	var uniq []Expr
-	for _, a := range rest {
-		if !seen[a.String()] {
-			seen[a.String()] = true
+	uniq := rest[:0]
+	uniqKeys := keys[:0]
+	for i, a := range rest {
+		if !seen[keys[i]] {
+			seen[keys[i]] = true
 			uniq = append(uniq, a)
+			uniqKeys = append(uniqKeys, keys[i])
 		}
 	}
-	sort.Slice(uniq, func(i, j int) bool { return uniq[i].String() < uniq[j].String() })
+	sort.Sort(&keyedExprs{exprs: uniq, keys: uniqKeys})
 	if len(uniq) == 1 {
 		return uniq[0]
 	}
@@ -270,17 +278,62 @@ func mulLin(a, b linsum) (linsum, bool) {
 	if len(a)*len(b) > 256 {
 		return nil, false
 	}
+	// Each term's atoms are already sorted by string form, so every
+	// product is a keyed merge of two sorted lists. Atom keys render
+	// once per term here, not once per comparison inside a sort.
+	ta := keyedTerms(a)
+	tb := keyedTerms(b)
 	out := linsum{}
-	for _, ta := range a {
-		for _, tb := range b {
-			atoms := make([]Expr, 0, len(ta.atoms)+len(tb.atoms))
-			atoms = append(atoms, ta.atoms...)
-			atoms = append(atoms, tb.atoms...)
-			sort.Slice(atoms, func(i, j int) bool { return atoms[i].String() < atoms[j].String() })
-			out.add(term{coef: ta.coef * tb.coef, atoms: atoms})
+	for _, x := range ta {
+		for _, y := range tb {
+			atoms := mergeSortedAtoms(x.t.atoms, x.keys, y.t.atoms, y.keys)
+			out.add(term{coef: x.t.coef * y.t.coef, atoms: atoms})
 		}
 	}
 	return out, true
+}
+
+// keyedTerm pairs a term with its pre-rendered atom keys.
+type keyedTerm struct {
+	t    term
+	keys []string
+}
+
+func keyedTerms(l linsum) []keyedTerm {
+	out := make([]keyedTerm, 0, len(l))
+	for _, t := range l {
+		ks := make([]string, len(t.atoms))
+		for i, a := range t.atoms {
+			ks[i] = a.String()
+		}
+		out = append(out, keyedTerm{t: t, keys: ks})
+	}
+	return out
+}
+
+// mergeSortedAtoms merges two atom lists that are each sorted by their
+// pre-rendered keys into one sorted list.
+func mergeSortedAtoms(xs []Expr, xk []string, ys []Expr, yk []string) []Expr {
+	if len(xs) == 0 {
+		return append([]Expr(nil), ys...)
+	}
+	if len(ys) == 0 {
+		return append([]Expr(nil), xs...)
+	}
+	out := make([]Expr, 0, len(xs)+len(ys))
+	i, j := 0, 0
+	for i < len(xs) && j < len(ys) {
+		if xk[i] <= yk[j] {
+			out = append(out, xs[i])
+			i++
+		} else {
+			out = append(out, ys[j])
+			j++
+		}
+	}
+	out = append(out, xs[i:]...)
+	out = append(out, ys[j:]...)
+	return out
 }
 
 // value is the normal form of an expression: either a single linsum or a
@@ -595,13 +648,29 @@ func simplifyNot(c Expr) Expr {
 func dedupConds(conds []Expr) []Expr {
 	seen := map[string]bool{}
 	var out []Expr
+	var keys []string
 	for _, c := range conds {
 		k := c.String()
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, c)
+			keys = append(keys, k)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	sort.Sort(&keyedExprs{exprs: out, keys: keys})
 	return out
+}
+
+// keyedExprs sorts expressions by pre-rendered string keys, keeping the
+// two slices aligned; String() runs once per element, not per compare.
+type keyedExprs struct {
+	exprs []Expr
+	keys  []string
+}
+
+func (k *keyedExprs) Len() int           { return len(k.exprs) }
+func (k *keyedExprs) Less(i, j int) bool { return k.keys[i] < k.keys[j] }
+func (k *keyedExprs) Swap(i, j int) {
+	k.exprs[i], k.exprs[j] = k.exprs[j], k.exprs[i]
+	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
 }
