@@ -1,17 +1,23 @@
 # Build/test gates for the subscripted-subscript analysis repo.
 #
-#   make check   — the full pre-merge gate: fmt + vet + tests + race
-#                  detector + one-iteration bench smoke
+#   make check   — the full pre-merge gate: fmt + vet + build (including
+#                  the subsubd daemon) + tests + race detector +
+#                  one-iteration bench smoke + daemon serve smoke
 #   make fmt     — fail if any file is not gofmt-clean
 #   make race    — go test -race ./... (the concurrent driver, the
-#                  sharded symbolic cache, and the parallel loop driver
-#                  of the compiled engine must stay race-clean)
+#                  sharded symbolic cache, the parallel loop driver of
+#                  the compiled engine, and the serving layer must stay
+#                  race-clean)
+#   make serve-smoke — start the subsubd daemon, fire one request from
+#                  examples/daemon over real loopback HTTP twice (miss
+#                  then content-addressed hit), validate the JSON and
+#                  /metrics, and shut down gracefully
 #   make fuzz    — short fuzz session over the parser and simplifier
 #   make bench   — batch-driver, cache, and interpreter benchmarks
 
 GO ?= go
 
-.PHONY: build fmt vet test race check fuzz bench benchsmoke experiments
+.PHONY: build fmt vet test race check fuzz bench benchsmoke serve-smoke experiments
 
 build:
 	$(GO) build ./...
@@ -34,7 +40,13 @@ race:
 benchsmoke:
 	$(GO) test -run NONE -bench 'BenchmarkInterp' -benchtime=1x ./internal/corpus/
 
-check: fmt vet test race benchsmoke
+# End-to-end daemon smoke: binds an ephemeral loopback port, replays the
+# example request twice (expecting a fresh analysis, then a byte-identical
+# content-addressed cache hit), and checks /metrics and /v1/health.
+serve-smoke:
+	$(GO) run ./cmd/subsubd -selfcheck examples/daemon/request.json
+
+check: fmt vet build test race benchsmoke serve-smoke
 
 fuzz:
 	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime 20s ./internal/cminus/

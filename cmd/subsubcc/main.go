@@ -5,11 +5,18 @@
 //
 // Several files may be given; they are analyzed as one concurrent batch
 // over -workers goroutines, and the output is printed in argument order,
-// bit-identical to analyzing each file on its own.
+// bit-identical to analyzing each file on its own. A file that fails to
+// read or parse does not stop the batch: results are still printed for
+// the files that succeeded, the failures are listed per file on stderr,
+// and the exit status is 1.
+//
+// With -json the output is the same JSON encoding the subsubd daemon
+// returns from POST /v1/analyze — byte-identical for identical inputs,
+// including per-file errors in their result slots.
 //
 // Usage:
 //
-//	subsubcc [-level classical|base|new] [-assume sym1,sym2] [-annotate] [-workers N] file.c [file2.c ...]
+//	subsubcc [-level classical|base|new] [-assume sym1,sym2] [-annotate] [-json] [-workers N] file.c [file2.c ...]
 package main
 
 import (
@@ -27,6 +34,7 @@ func main() {
 	assume := flag.String("assume", "", "comma-separated symbols assumed >= 1")
 	annotate := flag.Bool("annotate", false, "print the OpenMP-annotated source")
 	doInline := flag.Bool("inline", false, "perform inline expansion before the analysis")
+	jsonOut := flag.Bool("json", false, "print results as JSON (the subsubd /v1/analyze wire format)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker pool size (files and passes fan out; output is identical for any value)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: subsubcc [flags] file.c [file2.c ...]\n")
@@ -39,51 +47,71 @@ func main() {
 	}
 
 	opt := core.Options{}
-	switch *level {
-	case "classical":
-		opt.Level = core.Classical
-	case "base":
-		opt.Level = core.Base
-	case "new":
-		opt.Level = core.New
-	default:
-		fmt.Fprintf(os.Stderr, "subsubcc: unknown level %q\n", *level)
+	lvl, err := core.ParseLevel(*level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "subsubcc: %v\n", err)
 		os.Exit(2)
 	}
+	opt.Level = lvl
 	if *assume != "" {
 		opt.AssumePositive = strings.Split(*assume, ",")
 	}
 	opt.Inline = *doInline
 	opt.Workers = *workers
 
-	sources := make([]core.Source, flag.NArg())
+	// Read every file; a read failure claims its result slot without
+	// aborting the rest of the batch, mirroring how a parse failure is
+	// reported per source.
+	results := make([]*core.BatchResult, flag.NArg())
+	var sources []core.Source
+	var sourceSlot []int
 	for i, path := range flag.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		sources[i] = core.Source{Name: path, Src: string(src)}
-	}
-
-	results := core.AnalyzeBatch(sources, opt)
-	failed := false
-	for _, r := range results {
-		if len(results) > 1 {
-			fmt.Printf("==== %s ====\n", r.Name)
-		}
-		if r.Err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, r.Err)
-			failed = true
+			results[i] = &core.BatchResult{Name: path, Err: err}
 			continue
 		}
-		fmt.Print(r.Res.Summary())
-		if *annotate {
-			fmt.Println("\n---- annotated source ----")
-			fmt.Print(r.Res.AnnotatedSource())
+		sources = append(sources, core.Source{Name: path, Src: string(src)})
+		sourceSlot = append(sourceSlot, i)
+	}
+	for j, br := range core.AnalyzeBatch(sources, opt) {
+		results[sourceSlot[j]] = br
+	}
+
+	if *jsonOut {
+		out, err := core.MarshalBatch(results, *annotate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "subsubcc: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+	} else {
+		for _, r := range results {
+			if len(results) > 1 {
+				fmt.Printf("==== %s ====\n", r.Name)
+			}
+			if r.Err != nil {
+				continue
+			}
+			fmt.Print(r.Res.Summary())
+			if *annotate {
+				fmt.Println("\n---- annotated source ----")
+				fmt.Print(r.Res.AnnotatedSource())
+			}
 		}
 	}
-	if failed {
+
+	var failed []*core.BatchResult
+	for _, r := range results {
+		if r.Err != nil {
+			failed = append(failed, r)
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "subsubcc: %d of %d files failed:\n", len(failed), len(results))
+		for _, r := range failed {
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", r.Name, r.Err)
+		}
 		os.Exit(1)
 	}
 }

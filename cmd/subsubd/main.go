@@ -1,0 +1,206 @@
+// Command subsubd serves the subscripted-subscript recurrence analysis
+// over HTTP: POST /v1/analyze takes JSON sources + options and returns the
+// same JSON encoding `subsubcc -json` prints, byte-identical. The daemon
+// layers a content-addressed result cache, request coalescing and
+// admission control over the analysis (see internal/server), exposes
+// Prometheus metrics on GET /metrics and an admin view on GET /v1/stats,
+// and drains gracefully on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	subsubd [-addr :8723] [-workers N] [-queue N] [-analysis-workers N]
+//	        [-cache-entries N] [-cache-bytes N] [-timeout D] [-drain D]
+//
+//	subsubd -selfcheck examples/daemon/request.json
+//
+// The -selfcheck form is the `make serve-smoke` gate: it binds an
+// ephemeral loopback port, fires the given request twice over real HTTP
+// (expecting a cache miss then a content-addressed hit), validates the
+// JSON, checks /metrics and /v1/health, then shuts down gracefully.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent analyses (worker slots)")
+	queue := flag.Int("queue", 64, "analyses that may wait for a slot before requests are shed with 429 (negative: no queue)")
+	analysisWorkers := flag.Int("analysis-workers", 1, "per-analysis fan-out (core worker pool per request)")
+	cacheEntries := flag.Int("cache-entries", 1024, "max responses in the content-addressed cache")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "max response bytes in the content-addressed cache")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request analysis deadline")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	selfcheck := flag.String("selfcheck", "", "smoke mode: serve on an ephemeral port, replay this request file, verify, exit")
+	flag.Parse()
+
+	cfg := server.Config{
+		Workers:         *workers,
+		MaxQueue:        *queue,
+		AnalysisWorkers: *analysisWorkers,
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
+		RequestTimeout:  *timeout,
+	}
+	handler := server.New(cfg)
+
+	if *selfcheck != "" {
+		if err := runSelfcheck(handler, *selfcheck); err != nil {
+			log.Fatalf("subsubd selfcheck: %v", err)
+		}
+		fmt.Println("subsubd selfcheck ok")
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("subsubd: %v", err)
+	}
+	log.Printf("subsubd listening on %s (workers=%d queue=%d cache=%d entries/%d bytes)",
+		ln.Addr(), *workers, *queue, *cacheEntries, *cacheBytes)
+
+	srv := &http.Server{Handler: handler}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("subsubd: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("subsubd draining (up to %v)...", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Fatalf("subsubd: drain: %v", err)
+	}
+	log.Printf("subsubd stopped")
+}
+
+// runSelfcheck serves on an ephemeral loopback port and drives one full
+// serving cycle through the real HTTP stack.
+func runSelfcheck(handler *server.Server, reqPath string) error {
+	reqBody, err := os.ReadFile(reqPath)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	post := func() (*http.Response, []byte, error) {
+		resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp, body, err
+	}
+
+	// First request: a fresh analysis.
+	resp, body, err := post()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("analyze: %s: %s", resp.Status, body)
+	}
+	if state := resp.Header.Get("X-Subsubd-Cache"); state != "miss" {
+		return fmt.Errorf("first request: cache state %q, want miss", state)
+	}
+	var batch core.BatchJSON
+	if err := json.Unmarshal(body, &batch); err != nil {
+		return fmt.Errorf("response is not the batch JSON format: %v", err)
+	}
+	if len(batch.Results) == 0 {
+		return fmt.Errorf("no results in response")
+	}
+	parallel := 0
+	for _, r := range batch.Results {
+		if r.Error != "" {
+			return fmt.Errorf("result %s failed: %s", r.Name, r.Error)
+		}
+		for _, l := range r.Loops {
+			if l.Parallel {
+				parallel++
+			}
+		}
+	}
+	if parallel == 0 {
+		return fmt.Errorf("expected at least one parallelized loop in the example request")
+	}
+
+	// Second request: byte-identical replay from the content-addressed cache.
+	resp2, body2, err := post()
+	if err != nil {
+		return err
+	}
+	if state := resp2.Header.Get("X-Subsubd-Cache"); state != "hit" {
+		return fmt.Errorf("second request: cache state %q, want hit", state)
+	}
+	if !bytes.Equal(body, body2) {
+		return fmt.Errorf("cache replay is not byte-identical")
+	}
+
+	// Observability endpoints.
+	get := func(path string) (string, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: %s", path, resp.Status)
+		}
+		return string(b), nil
+	}
+	metrics, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"subsubd_cache_hits_total 1", "subsubd_analyses_total 1"} {
+		if !strings.Contains(metrics, want) {
+			return fmt.Errorf("/metrics missing %q", want)
+		}
+	}
+	if health, err := get("/v1/health"); err != nil || !strings.Contains(health, "ok") {
+		return fmt.Errorf("health check failed: %q, %v", health, err)
+	}
+	if _, err := get("/v1/stats"); err != nil {
+		return err
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
+}

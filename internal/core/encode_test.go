@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const encodeSrc = `
+void fill(int npts, double *xdos, double t, double width, int *ind, int *count) {
+    int m = 0;
+    int j;
+    for (j = 0; j < npts; j++) {
+        if ((xdos[j] - t) < width)
+            ind[m++] = j;
+    }
+    count[0] = m;
+}
+
+void apply(int numPlaced, int *ind, double *y) {
+    int j;
+    for (j = 0; j < numPlaced; j++) {
+        y[ind[j]] = y[ind[j]] + 1.0;
+    }
+}
+`
+
+func TestMarshalBatchDeterministic(t *testing.T) {
+	sources := []Source{
+		{Name: "a.c", Src: encodeSrc},
+		{Name: "broken.c", Src: "void f( {"},
+	}
+	results := AnalyzeBatch(sources, Options{Level: New})
+	first, err := MarshalBatch(results, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marshal the same results again, and re-analyze from scratch: both
+	// must be byte-identical — the property the daemon's content-addressed
+	// cache depends on.
+	second, err := MarshalBatch(results, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("MarshalBatch is not deterministic across calls")
+	}
+	fresh, err := MarshalBatch(AnalyzeBatch(sources, Options{Level: New, Workers: 8}), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, fresh) {
+		t.Fatal("MarshalBatch differs between a 1-worker and an 8-worker analysis")
+	}
+	if !bytes.HasSuffix(first, []byte("\n")) {
+		t.Fatal("MarshalBatch output must end in a newline")
+	}
+}
+
+func TestMarshalBatchContent(t *testing.T) {
+	results := AnalyzeBatch([]Source{
+		{Name: "ok.c", Src: encodeSrc},
+		{Name: "bad.c", Src: "int (("},
+	}, Options{Level: New})
+	out, err := MarshalBatch(results, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch BatchJSON
+	if err := json.Unmarshal(out, &batch); err != nil {
+		t.Fatalf("output does not round-trip: %v", err)
+	}
+	if len(batch.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(batch.Results))
+	}
+	ok, bad := batch.Results[0], batch.Results[1]
+	if ok.Name != "ok.c" || ok.Error != "" {
+		t.Fatalf("first result wrong: %+v", ok)
+	}
+	if ok.Level != "new" {
+		t.Fatalf("level = %q, want new", ok.Level)
+	}
+	if len(ok.Loops) == 0 {
+		t.Fatal("no loop decisions encoded")
+	}
+	var parallel int
+	for _, l := range ok.Loops {
+		if l.Parallel {
+			parallel++
+			if l.Pragma == "" {
+				t.Errorf("parallel loop %s/%s has no pragma", l.Func, l.Label)
+			}
+		} else if l.Reason == "" {
+			t.Errorf("serial loop %s/%s has no reason", l.Func, l.Label)
+		}
+	}
+	if parallel == 0 {
+		t.Fatal("expected at least one parallel loop in the EVSL example")
+	}
+	if len(ok.Properties) == 0 {
+		t.Fatal("no subscript-array properties encoded")
+	}
+	if ok.Properties[0].Display == "" {
+		t.Fatal("property missing display form")
+	}
+	if ok.AnnotatedSource == "" || !strings.Contains(ok.AnnotatedSource, "#pragma omp parallel for") {
+		t.Fatal("annotated source missing or unannotated")
+	}
+	if bad.Error == "" {
+		t.Fatal("parse failure not reported in JSON")
+	}
+	if bad.Name != "bad.c" || len(bad.Loops) != 0 {
+		t.Fatalf("failed result should carry only name+error: %+v", bad)
+	}
+}
+
+func TestParseLevelRoundTrip(t *testing.T) {
+	for _, lvl := range []Level{Classical, Base, New} {
+		got, err := ParseLevel(LevelName(lvl))
+		if err != nil || got != lvl {
+			t.Fatalf("ParseLevel(LevelName(%v)) = %v, %v", lvl, got, err)
+		}
+	}
+	if lvl, err := ParseLevel(""); err != nil || lvl != New {
+		t.Fatalf("empty level should default to new, got %v, %v", lvl, err)
+	}
+	if _, err := ParseLevel("bogus"); err == nil {
+		t.Fatal("ParseLevel accepted a bogus level")
+	}
+}

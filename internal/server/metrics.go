@@ -1,0 +1,147 @@
+package server
+
+// Serving metrics in Prometheus text exposition format, stdlib only: plain
+// counters/gauges plus a fixed-bucket latency histogram from which p50 and
+// p99 are estimated. The symbolic engine's memoization counters
+// (symbolic.ReadCacheStats) are surfaced alongside, so the analysis-level
+// cache is observable through the same scrape as the serving-level one.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/symbolic"
+)
+
+// latencyBuckets are the fixed histogram bounds in seconds. Requests
+// slower than the last bound land in the implicit +Inf bucket.
+var latencyBuckets = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent use.
+type histogram struct {
+	counts   [len(latencyBuckets) + 1]atomic.Int64 // last slot = +Inf
+	total    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && s > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// quantile estimates the q-quantile (0 < q < 1) in seconds by linear
+// interpolation inside the bucket containing the target rank. Observations
+// in the +Inf bucket are reported as the last finite bound.
+func (h *histogram) quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n >= target && n > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBuckets[i-1]
+			}
+			if i == len(latencyBuckets) {
+				return latencyBuckets[len(latencyBuckets)-1]
+			}
+			return lo + (latencyBuckets[i]-lo)*((target-cum)/n)
+		}
+		cum += n
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// metrics aggregates the serving counters that are not owned by the cache.
+type metrics struct {
+	requests  atomic.Int64 // POST /v1/analyze requests received
+	analyses  atomic.Int64 // analyses actually executed (post-cache, post-coalescing)
+	coalesced atomic.Int64 // requests served by joining an in-flight analysis
+	shed      atomic.Int64 // requests rejected with 429 by admission control
+	timeouts  atomic.Int64 // requests that hit the per-request deadline
+	latency   histogram
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func writeMetric(w io.Writer, name, kind, help string, value string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, kind, name, value)
+}
+
+func writeCounter(w io.Writer, name, help string, v int64) {
+	writeMetric(w, name, "counter", help, strconv.FormatInt(v, 10))
+}
+
+func writeGauge(w io.Writer, name, help string, v float64) {
+	writeMetric(w, name, "gauge", help, fmtFloat(v))
+}
+
+// writeMetrics renders the full scrape: serving counters, admission
+// gauges, the latency histogram with p50/p99, result-cache counters, and
+// the symbolic engine's memoization counters.
+func (s *Server) writeMetrics(w io.Writer) {
+	m := &s.met
+	writeCounter(w, "subsubd_requests_total", "Analyze requests received.", m.requests.Load())
+	writeCounter(w, "subsubd_analyses_total", "Analyses executed (cache misses that were not coalesced).", m.analyses.Load())
+	writeCounter(w, "subsubd_coalesced_total", "Requests served by joining an identical in-flight analysis.", m.coalesced.Load())
+	writeCounter(w, "subsubd_shed_total", "Requests rejected with 429 by admission control.", m.shed.Load())
+	writeCounter(w, "subsubd_timeouts_total", "Requests that exceeded the per-request deadline.", m.timeouts.Load())
+	writeGauge(w, "subsubd_queue_depth", "Analyses waiting for a worker slot.", float64(s.waiting.Load()))
+	writeGauge(w, "subsubd_inflight", "Analyses currently holding a worker slot.", float64(len(s.sem)))
+	writeGauge(w, "subsubd_workers", "Configured worker-slot capacity.", float64(cap(s.sem)))
+
+	cs := s.cache.stats()
+	writeCounter(w, "subsubd_cache_hits_total", "Content-addressed result cache hits.", cs.Hits)
+	writeCounter(w, "subsubd_cache_misses_total", "Content-addressed result cache misses.", cs.Misses)
+	writeCounter(w, "subsubd_cache_evictions_total", "Result cache LRU evictions.", cs.Evictions)
+	writeGauge(w, "subsubd_cache_entries", "Responses currently cached.", float64(cs.Entries))
+	writeGauge(w, "subsubd_cache_bytes", "Bytes of response bodies currently cached.", float64(cs.Bytes))
+
+	// Latency histogram with estimated quantiles.
+	h := &m.latency
+	fmt.Fprintf(w, "# HELP subsubd_request_seconds Analyze request latency.\n# TYPE subsubd_request_seconds histogram\n")
+	var cum int64
+	for i, bound := range latencyBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "subsubd_request_seconds_bucket{le=%q} %d\n", fmtFloat(bound), cum)
+	}
+	cum += h.counts[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "subsubd_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "subsubd_request_seconds_sum %s\n", fmtFloat(float64(h.sumNanos.Load())/1e9))
+	fmt.Fprintf(w, "subsubd_request_seconds_count %d\n", h.total.Load())
+	writeGauge(w, "subsubd_request_seconds_p50", "Estimated median analyze latency.", h.quantile(0.50))
+	writeGauge(w, "subsubd_request_seconds_p99", "Estimated p99 analyze latency.", h.quantile(0.99))
+
+	// Symbolic-engine memoization (the PR 1 caches), finally observable in
+	// a running service.
+	sc := symbolic.ReadCacheStats()
+	enabled := 0.0
+	if symbolic.CacheEnabled() {
+		enabled = 1
+	}
+	writeGauge(w, "subsubd_symbolic_cache_enabled", "1 when the symbolic memoization layer is active.", enabled)
+	writeCounter(w, "subsubd_symbolic_simplify_hits_total", "Symbolic Simplify memo hits.", sc.SimplifyHits)
+	writeCounter(w, "subsubd_symbolic_simplify_misses_total", "Symbolic Simplify memo misses.", sc.SimplifyMisses)
+	writeCounter(w, "subsubd_symbolic_compare_hits_total", "Symbolic canonical-string memo hits.", sc.CompareHits)
+	writeCounter(w, "subsubd_symbolic_compare_misses_total", "Symbolic canonical-string memo misses.", sc.CompareMisses)
+	writeCounter(w, "subsubd_symbolic_evictions_total", "Symbolic cache whole-shard evictions.", sc.Evictions)
+	writeGauge(w, "subsubd_symbolic_interned", "Distinct interned symbolic expressions.", float64(sc.Interned))
+	writeGauge(w, "subsubd_symbolic_entries", "Memoized Simplify results currently held.", float64(sc.Entries))
+	writeGauge(w, "subsubd_symbolic_hit_rate", "Combined symbolic cache hit fraction.", sc.HitRate())
+}

@@ -1,0 +1,473 @@
+// Package server is the analysis-as-a-service layer over internal/core:
+// an http.Handler exposing the subscripted-subscript recurrence analysis
+// as POST /v1/analyze, backed by three serving mechanisms that exploit the
+// analysis being a deterministic pure function of (source, options):
+//
+//  1. a content-addressed result cache — responses stored under the
+//     SHA-256 of the canonicalized request, replayed byte-identically with
+//     no TTL (see cache.go);
+//  2. request coalescing — concurrent identical requests share one
+//     in-flight analysis (see singleflight.go);
+//  3. admission control — a bounded worker pool with a queue-depth limit
+//     that sheds overload with 429 + Retry-After instead of queueing
+//     without bound, plus a per-request deadline.
+//
+// GET /metrics exposes the serving counters in Prometheus text format,
+// GET /v1/stats (and POST, to toggle the symbolic memoization layer) is
+// the admin view, and GET /v1/health is the liveness probe. The package
+// is stdlib-only, like the rest of the repository.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/symbolic"
+)
+
+// Config bounds the server's resources. Zero values select defaults.
+type Config struct {
+	// Workers is the number of analyses allowed to run concurrently
+	// (default GOMAXPROCS).
+	Workers int
+	// MaxQueue is how many analyses may wait for a worker slot before new
+	// work is shed with 429 (default 64). 0 is honoured as "no queue":
+	// every analysis that cannot start immediately is shed.
+	MaxQueue int
+	// AnalysisWorkers is the per-analysis fan-out passed to
+	// core.Options.Workers (default 1, so concurrency comes from serving
+	// many requests rather than oversubscribing one).
+	AnalysisWorkers int
+	// CacheEntries / CacheBytes bound the content-addressed result cache
+	// (defaults 1024 entries, 64 MiB).
+	CacheEntries int
+	CacheBytes   int64
+	// RequestTimeout is the per-request analysis deadline (default 30s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds the request body (default 8 MiB).
+	MaxBodyBytes int64
+
+	noQueue bool // set by New when the caller explicitly passed MaxQueue < 0
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 && !c.noQueue {
+		c.MaxQueue = 64
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.AnalysisWorkers <= 0 {
+		c.AnalysisWorkers = 1
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+}
+
+// Server is the analysis service. It implements http.Handler.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	cache  *resultCache
+	flight flightGroup
+	met    metrics
+
+	// sem holds one token per running analysis; waiting counts analyses
+	// blocked on a slot (the admission queue).
+	sem     chan struct{}
+	waiting atomic.Int64
+
+	// analyze produces the encoded response for a normalized request. It
+	// defaults to the real pipeline and is overridable by tests that need
+	// to gate or fail the analysis deterministically.
+	analyze func(*AnalyzeRequest) ([]byte, error)
+}
+
+// New builds a server with the given bounds. Pass MaxQueue < 0 to disable
+// queueing entirely (shed whenever all workers are busy).
+func New(cfg Config) *Server {
+	if cfg.MaxQueue < 0 {
+		cfg.noQueue = true
+	}
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newResultCache(cfg.CacheEntries, cfg.CacheBytes),
+		sem:   make(chan struct{}, cfg.Workers),
+	}
+	s.analyze = s.defaultAnalyze
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/health", s.handleHealth)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SourceJSON is one named program in an analyze request.
+type SourceJSON struct {
+	Name string `json:"name"`
+	Src  string `json:"src"`
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze. Either Source (with an
+// optional Name) or Sources must be set.
+type AnalyzeRequest struct {
+	// Source is the single-program convenience form.
+	Source string `json:"source,omitempty"`
+	Name   string `json:"name,omitempty"`
+	// Sources is the batch form; results come back in this order.
+	Sources []SourceJSON `json:"sources,omitempty"`
+	// Level is "classical", "base" or "new" (default "new").
+	Level string `json:"level,omitempty"`
+	// Assume lists symbols the analysis may take as >= 1.
+	Assume []string `json:"assume,omitempty"`
+	// Inline performs inline expansion before the analysis.
+	Inline bool `json:"inline,omitempty"`
+	// Annotate includes the OpenMP-annotated source in each result.
+	Annotate bool `json:"annotate,omitempty"`
+}
+
+// normalize canonicalizes the request in place so that requests meaning
+// the same analysis hash to the same cache key: the single-source form is
+// folded into Sources, unnamed sources get positional names, the level
+// defaults to "new", and the assume list is sorted and deduplicated
+// (assumptions populate a symbol dictionary, so order and multiplicity
+// are semantically irrelevant — see DESIGN.md). It returns an error for
+// requests that cannot be analyzed at all.
+func (r *AnalyzeRequest) normalize() error {
+	if r.Source != "" {
+		name := r.Name
+		if name == "" {
+			name = "source"
+		}
+		r.Sources = append([]SourceJSON{{Name: name, Src: r.Source}}, r.Sources...)
+		r.Source, r.Name = "", ""
+	}
+	if len(r.Sources) == 0 {
+		return errors.New("no sources: set \"source\" or \"sources\"")
+	}
+	for i := range r.Sources {
+		if r.Sources[i].Src == "" {
+			return fmt.Errorf("sources[%d] has empty src", i)
+		}
+		if r.Sources[i].Name == "" {
+			r.Sources[i].Name = fmt.Sprintf("source%d", i)
+		}
+	}
+	if r.Level == "" {
+		r.Level = "new"
+	}
+	if _, err := core.ParseLevel(r.Level); err != nil {
+		return err
+	}
+	assume := append([]string(nil), r.Assume...)
+	sort.Strings(assume)
+	out := assume[:0]
+	for _, a := range assume {
+		if a == "" || (len(out) > 0 && out[len(out)-1] == a) {
+			continue
+		}
+		out = append(out, a)
+	}
+	r.Assume = out
+	return nil
+}
+
+// cacheKey is the content address of a normalized request: the SHA-256 of
+// a collision-free (length-prefixed) encoding of every field that can
+// change the response bytes. Worker counts are deliberately excluded —
+// results are bit-identical for every worker count, so the same key must
+// be produced whatever parallelism the server happens to use.
+func (r *AnalyzeRequest) cacheKey() string {
+	h := sha256.New()
+	io.WriteString(h, "subsubd/v1\x00")
+	hashField(h, r.Level)
+	fmt.Fprintf(h, "inline=%t;annotate=%t;", r.Inline, r.Annotate)
+	fmt.Fprintf(h, "assume=%d;", len(r.Assume))
+	for _, a := range r.Assume {
+		hashField(h, a)
+	}
+	fmt.Fprintf(h, "sources=%d;", len(r.Sources))
+	for _, src := range r.Sources {
+		hashField(h, src.Name)
+		hashField(h, src.Src)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashField(h io.Writer, s string) {
+	fmt.Fprintf(h, "%d:", len(s))
+	io.WriteString(h, s)
+}
+
+// defaultAnalyze runs the real pipeline and encodes the response with the
+// same marshaller the subsubcc CLI uses, so daemon and CLI output are
+// byte-identical for identical inputs.
+func (s *Server) defaultAnalyze(req *AnalyzeRequest) ([]byte, error) {
+	lvl, err := core.ParseLevel(req.Level)
+	if err != nil {
+		return nil, err
+	}
+	sources := make([]core.Source, len(req.Sources))
+	for i, src := range req.Sources {
+		sources[i] = core.Source{Name: src.Name, Src: src.Src}
+	}
+	opt := core.Options{
+		Level:          lvl,
+		AssumePositive: req.Assume,
+		Inline:         req.Inline,
+		Workers:        s.cfg.AnalysisWorkers,
+	}
+	return core.MarshalBatch(core.AnalyzeBatch(sources, opt), req.Annotate)
+}
+
+// errShed marks a request rejected by admission control.
+var errShed = errors.New("server at capacity")
+
+// admit blocks until a worker slot is free. It sheds (errShed) when the
+// queue of waiting analyses is at MaxQueue, or when the wait outlives ctx
+// — an analysis that cannot start before its deadline is overload by
+// definition.
+func (s *Server) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+		s.waiting.Add(-1)
+		return errShed
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return errShed
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// runAnalysis is the singleflight leader body: pass admission, run the
+// analysis, populate the cache.
+func (s *Server) runAnalysis(ctx context.Context, key string, req *AnalyzeRequest) ([]byte, error) {
+	if err := s.admit(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	s.met.analyses.Add(1)
+	body, err := s.analyze(req)
+	if err == nil {
+		s.cache.put(key, body)
+	}
+	return body, err
+}
+
+type flightOut struct {
+	body   []byte
+	err    error
+	shared bool
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.met.requests.Add(1)
+	start := time.Now()
+	defer func() { s.met.latency.observe(time.Since(start)) }()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, "request body unreadable or over the size limit", http.StatusRequestEntityTooLarge)
+		return
+	}
+	var req AnalyzeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "bad request JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := req.cacheKey()
+	if cached, ok := s.cache.get(key); ok {
+		s.writeAnalysis(w, cached, "hit")
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	// The leader detaches from any single request's context: with
+	// coalescing, one analysis may be serving many requests, so it runs to
+	// its own deadline even if the initiating client gives up.
+	leadCtx, leadCancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	ch := make(chan flightOut, 1)
+	go func() {
+		defer leadCancel()
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- flightOut{err: fmt.Errorf("analysis panicked: %v", p)}
+			}
+		}()
+		out, err, shared := s.flight.Do(key, func() ([]byte, error) {
+			return s.runAnalysis(leadCtx, key, &req)
+		})
+		ch <- flightOut{body: out, err: err, shared: shared}
+	}()
+
+	select {
+	case out := <-ch:
+		switch {
+		case errors.Is(out.err, errShed):
+			s.met.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+		case out.err != nil:
+			http.Error(w, out.err.Error(), http.StatusInternalServerError)
+		default:
+			state := "miss"
+			if out.shared {
+				s.met.coalesced.Add(1)
+				state = "coalesced"
+			}
+			s.writeAnalysis(w, out.body, state)
+		}
+	case <-ctx.Done():
+		// The analysis keeps running detached; if it completes it will
+		// populate the cache for the retry.
+		s.met.timeouts.Add(1)
+		http.Error(w, "analysis deadline exceeded", http.StatusGatewayTimeout)
+	}
+}
+
+// writeAnalysis sends the encoded response. The body bytes are identical
+// whether the request was a cache hit, a coalesced follower, or a fresh
+// analysis; X-Subsubd-Cache says which path served it.
+func (s *Server) writeAnalysis(w http.ResponseWriter, body []byte, state string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Subsubd-Cache", state)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, "{\"status\":\"ok\"}\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+// statsJSON is the admin view served by /v1/stats.
+type statsJSON struct {
+	SymbolicCache struct {
+		Enabled        bool    `json:"enabled"`
+		SimplifyHits   int64   `json:"simplify_hits"`
+		SimplifyMisses int64   `json:"simplify_misses"`
+		CompareHits    int64   `json:"compare_hits"`
+		CompareMisses  int64   `json:"compare_misses"`
+		Evictions      int64   `json:"evictions"`
+		Interned       int64   `json:"interned"`
+		Entries        int     `json:"entries"`
+		HitRate        float64 `json:"hit_rate"`
+	} `json:"symbolic_cache"`
+	ResultCache cacheStats `json:"result_cache"`
+	Server      struct {
+		Requests   int64 `json:"requests"`
+		Analyses   int64 `json:"analyses"`
+		Coalesced  int64 `json:"coalesced"`
+		Shed       int64 `json:"shed"`
+		Timeouts   int64 `json:"timeouts"`
+		QueueDepth int64 `json:"queue_depth"`
+		Inflight   int   `json:"inflight"`
+		Workers    int   `json:"workers"`
+	} `json:"server"`
+}
+
+// statsUpdate is the body of POST /v1/stats.
+type statsUpdate struct {
+	// SymbolicCacheEnabled toggles the symbolic memoization layer
+	// process-wide (symbolic.SetCacheEnabled) so cache regressions can be
+	// A/B-diagnosed on a live daemon without a restart.
+	SymbolicCacheEnabled *bool `json:"symbolic_cache_enabled"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPost:
+		var upd statsUpdate
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&upd); err != nil {
+			http.Error(w, "bad stats update: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if upd.SymbolicCacheEnabled != nil {
+			symbolic.SetCacheEnabled(*upd.SymbolicCacheEnabled)
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var st statsJSON
+	sc := symbolic.ReadCacheStats()
+	st.SymbolicCache.Enabled = symbolic.CacheEnabled()
+	st.SymbolicCache.SimplifyHits = sc.SimplifyHits
+	st.SymbolicCache.SimplifyMisses = sc.SimplifyMisses
+	st.SymbolicCache.CompareHits = sc.CompareHits
+	st.SymbolicCache.CompareMisses = sc.CompareMisses
+	st.SymbolicCache.Evictions = sc.Evictions
+	st.SymbolicCache.Interned = sc.Interned
+	st.SymbolicCache.Entries = sc.Entries
+	st.SymbolicCache.HitRate = sc.HitRate()
+	st.ResultCache = s.cache.stats()
+	st.Server.Requests = s.met.requests.Load()
+	st.Server.Analyses = s.met.analyses.Load()
+	st.Server.Coalesced = s.met.coalesced.Load()
+	st.Server.Shed = s.met.shed.Load()
+	st.Server.Timeouts = s.met.timeouts.Load()
+	st.Server.QueueDepth = s.waiting.Load()
+	st.Server.Inflight = len(s.sem)
+	st.Server.Workers = cap(s.sem)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+}

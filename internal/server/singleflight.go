@@ -1,0 +1,96 @@
+package server
+
+// Request coalescing: a hand-rolled singleflight. Concurrent callers with
+// the same key share one execution of fn — the analysis is a pure function
+// of the key, so every waiter can be handed the leader's result. Unlike a
+// naive mutex-per-key, errors and panics propagate to every waiter: an
+// error is returned to all callers, and a panic in fn re-panics in each
+// caller's goroutine (wrapped in *panicError with the original stack), so
+// a crash cannot silently wedge coalesced requests.
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// panicError carries a recovered panic value across goroutines.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("coalesced call panicked: %v\n\n%s", p.value, p.stack)
+}
+
+// flightCall is one in-flight execution.
+type flightCall struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+	// dups counts the followers that joined this call.
+	dups int
+}
+
+// flightGroup deduplicates concurrent executions by key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// Do executes fn once per concurrently-requested key. The leader (the
+// first caller for a key) runs fn; followers block and receive the same
+// value and error. shared is false for the leader and true for followers.
+// If fn panicked, every caller — leader and followers — re-panics with a
+// *panicError holding the original value and stack.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		c.wg.Wait()
+		if pe, ok := c.err.(*panicError); ok {
+			panic(pe)
+		}
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = &panicError{value: r, stack: debug.Stack()}
+			}
+		}()
+		c.val, c.err = fn()
+	}()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+
+	if pe, ok := c.err.(*panicError); ok {
+		panic(pe)
+	}
+	return c.val, c.err, false
+}
+
+// waiters reports how many followers are currently blocked on the key's
+// in-flight call (0 when none is in flight). Used by tests and the
+// queue-depth metric.
+func (g *flightGroup) waiters(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.dups
+	}
+	return 0
+}

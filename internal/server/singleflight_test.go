@@ -1,0 +1,171 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightDedup checks that concurrent callers of one key share a single
+// execution and all receive its value.
+func TestFlightDedup(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const n = 16
+	var wg sync.WaitGroup
+	vals := make([][]byte, n)
+	shareds := make([]bool, n)
+	run := func(i int) {
+		defer wg.Done()
+		v, err, shared := g.Do("k", func() ([]byte, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return []byte("v"), nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		vals[i], shareds[i] = v, shared
+	}
+	wg.Add(1)
+	go run(0)
+	<-started
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for g.waiters("k") != n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers joined: %d, want %d", g.waiters("k"), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	leaders := 0
+	for i := range vals {
+		if string(vals[i]) != "v" {
+			t.Fatalf("caller %d got %q", i, vals[i])
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d callers claim to be the leader, want 1", leaders)
+	}
+	if g.waiters("k") != 0 {
+		t.Fatal("key not forgotten after completion")
+	}
+}
+
+// TestFlightErrorPropagation checks that the leader's error reaches every
+// follower.
+func TestFlightErrorPropagation(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	errs := make(chan error, 2)
+	go func() {
+		_, err, _ := g.Do("k", func() ([]byte, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+		errs <- err
+	}()
+	<-started
+	go func() {
+		_, err, _ := g.Do("k", func() ([]byte, error) { return []byte("other"), nil })
+		errs <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for g.waiters("k") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, boom) {
+			t.Fatalf("caller %d got %v, want boom", i, err)
+		}
+	}
+}
+
+// TestFlightPanicPropagation checks that a panic in fn re-panics in the
+// leader and in every follower, carrying the original value and stack.
+func TestFlightPanicPropagation(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	recovered := make(chan any, 2)
+	call := func(fn func() ([]byte, error)) {
+		defer func() { recovered <- recover() }()
+		g.Do("k", fn)
+		recovered <- nil // unreachable on panic
+	}
+	go call(func() ([]byte, error) {
+		close(started)
+		<-release
+		panic("kaboom")
+	})
+	<-started
+	go call(func() ([]byte, error) { return nil, nil })
+	deadline := time.Now().Add(10 * time.Second)
+	for g.waiters("k") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		r := <-recovered
+		pe, ok := r.(*panicError)
+		if !ok {
+			t.Fatalf("caller %d recovered %T (%v), want *panicError", i, r, r)
+		}
+		if pe.value != "kaboom" {
+			t.Fatalf("caller %d panic value = %v", i, pe.value)
+		}
+		if !strings.Contains(pe.Error(), "kaboom") || len(pe.stack) == 0 {
+			t.Fatalf("panicError missing value or stack: %v", pe)
+		}
+	}
+}
+
+// TestFlightSequentialCallsRunSeparately checks that the key is forgotten
+// between non-overlapping calls (no accidental caching).
+func TestFlightSequentialCallsRunSeparately(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		v, err, shared := g.Do("k", func() ([]byte, error) {
+			calls.Add(1)
+			return []byte("v"), nil
+		})
+		if err != nil || shared || string(v) != "v" {
+			t.Fatalf("call %d: %q, %v, shared=%t", i, v, err, shared)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("fn ran %d times, want 3 (singleflight must not cache)", calls.Load())
+	}
+}
