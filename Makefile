@@ -12,12 +12,15 @@
 #                  examples/daemon over real loopback HTTP twice (miss
 #                  then content-addressed hit), validate the JSON and
 #                  /metrics, and shut down gracefully
+#   make fuzz-smoke — 5s whole-pipeline fuzz (FuzzAnalyze) as a gate step
+#   make fault-e2e — fault-injection daemon tests (stall/panic/budget
+#                  failpoints) under the race detector
 #   make fuzz    — short fuzz session over the parser and simplifier
 #   make bench   — batch-driver, cache, and interpreter benchmarks
 
 GO ?= go
 
-.PHONY: build fmt vet test race check fuzz bench benchsmoke serve-smoke experiments
+.PHONY: build fmt vet test race check fuzz fuzz-smoke fault-e2e bench benchsmoke serve-smoke experiments
 
 build:
 	$(GO) build ./...
@@ -46,7 +49,18 @@ benchsmoke:
 serve-smoke:
 	$(GO) run ./cmd/subsubd -selfcheck examples/daemon/request.json
 
-check: fmt vet build test race benchsmoke serve-smoke
+# Whole-pipeline fuzz smoke: parse → analyze → re-analyze annotated
+# output under a step budget and deadline. -fuzz accepts one package.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzAnalyze -fuzztime 5s ./internal/core/
+
+# Fault-injection end-to-end: deterministic failpoints (stall, panic,
+# budget exhaustion) driven through the daemon's real HTTP stack, under
+# the race detector.
+fault-e2e:
+	$(GO) test -race -run 'TestFault|TestBudgetExhausted|TestHealthzReadyz|TestReadyz' ./internal/server/
+
+check: fmt vet build test race benchsmoke serve-smoke fuzz-smoke fault-e2e
 
 fuzz:
 	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime 20s ./internal/cminus/

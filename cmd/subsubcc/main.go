@@ -16,7 +16,11 @@
 //
 // Usage:
 //
-//	subsubcc [-level classical|base|new] [-assume sym1,sym2] [-annotate] [-json] [-workers N] file.c [file2.c ...]
+//	subsubcc [-level classical|base|new] [-assume sym1,sym2] [-annotate] [-json] [-workers N] [-timeout 5s] [-budget 1000000] file.c [file2.c ...]
+//
+// -timeout and -budget bound each file's analysis in wall-clock time and
+// abstract work steps; a file that exceeds either limit fails with a
+// typed error in its own slot, reported like any other per-file failure.
 package main
 
 import (
@@ -36,6 +40,8 @@ func main() {
 	doInline := flag.Bool("inline", false, "perform inline expansion before the analysis")
 	jsonOut := flag.Bool("json", false, "print results as JSON (the subsubd /v1/analyze wire format)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker pool size (files and passes fan out; output is identical for any value)")
+	timeout := flag.Duration("timeout", 0, "per-file analysis deadline (0 = none); a file that exceeds it fails like any other per-file error")
+	budgetSteps := flag.Int64("budget", 0, "per-file analysis step budget (0 = unlimited)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: subsubcc [flags] file.c [file2.c ...]\n")
 		flag.PrintDefaults()
@@ -58,6 +64,8 @@ func main() {
 	}
 	opt.Inline = *doInline
 	opt.Workers = *workers
+	opt.Timeout = *timeout
+	opt.Budget = *budgetSteps
 
 	// Read every file; a read failure claims its result slot without
 	// aborting the rest of the batch, mirroring how a parse failure is

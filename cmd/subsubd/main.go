@@ -9,7 +9,13 @@
 // Usage:
 //
 //	subsubd [-addr :8723] [-workers N] [-queue N] [-analysis-workers N]
-//	        [-cache-entries N] [-cache-bytes N] [-timeout D] [-drain D]
+//	        [-cache-entries N] [-cache-bytes N] [-timeout D] [-budget N]
+//	        [-drain D]
+//
+// GET /healthz is the liveness probe (always 200 while the process
+// serves); GET /readyz is the readiness probe (503 while draining or
+// while the admission queue is at the shed threshold). -budget bounds
+// each analysis in abstract work steps; exceeding it returns 422.
 //
 //	subsubd -selfcheck examples/daemon/request.json
 //
@@ -48,6 +54,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 1024, "max responses in the content-addressed cache")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "max response bytes in the content-addressed cache")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request analysis deadline")
+	budgetSteps := flag.Int64("budget", 0, "per-analysis step budget; exceeding it fails the request with 422 (0 = unlimited)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	selfcheck := flag.String("selfcheck", "", "smoke mode: serve on an ephemeral port, replay this request file, verify, exit")
 	flag.Parse()
@@ -59,6 +66,7 @@ func main() {
 		CacheEntries:    *cacheEntries,
 		CacheBytes:      *cacheBytes,
 		RequestTimeout:  *timeout,
+		MaxSteps:        *budgetSteps,
 	}
 	handler := server.New(cfg)
 
@@ -89,6 +97,9 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
+	// Fail /readyz first so load balancers stop routing new work here;
+	// /healthz stays green while in-flight requests drain.
+	handler.SetDraining(true)
 	log.Printf("subsubd draining (up to %v)...", *drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -1,0 +1,161 @@
+// Package budget bounds the resources one analysis may consume. A *B
+// carries an optional step allowance and an optional context.Context;
+// analysis passes charge steps at coarse-grained points (statements,
+// CFG nodes, proofs, aggregations). When the allowance runs out or the
+// context is canceled, Step panics with an Abort sentinel that unwinds
+// the (arbitrarily deep, possibly recursive) analysis immediately; a
+// Guard at the pass or API boundary converts the sentinel back into a
+// typed error (ErrBudget / ErrCanceled).
+//
+// Guard also doubles as the panic-containment boundary: a foreign panic
+// (a bug in the analysis, or an injected fault) is captured as a
+// *PanicError carrying the panic value and stack, so one crashing
+// function costs its own result, not the process.
+//
+// A nil *B is valid everywhere and never aborts, so budget-free callers
+// (tests, library use) pay one nil check per charge.
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// Typed abort causes. Errors returned by Guard wrap one of these, so
+// callers classify with errors.Is.
+var (
+	// ErrBudget reports that the analysis exhausted its step allowance.
+	ErrBudget = errors.New("analysis step budget exhausted")
+	// ErrCanceled reports that the analysis context was canceled (or its
+	// deadline passed) mid-analysis.
+	ErrCanceled = errors.New("analysis canceled")
+)
+
+// ctxPollMask throttles context polls to one per 64 charges: charging
+// sites are coarse (statements, proofs), so this bounds the latency of a
+// cancellation to a few dozen proof steps while keeping Step cheap.
+const ctxPollMask = 63
+
+// B is one analysis's resource budget. The zero value and nil are both
+// "unlimited, non-cancellable". A single B may be shared by concurrent
+// pass workers; all counters are atomic.
+type B struct {
+	ctx     context.Context
+	done    <-chan struct{}
+	max     int64
+	steps   atomic.Int64 // total charged
+	polls   atomic.Int64 // charge calls, for ctx poll throttling
+	expired atomic.Bool  // set by Exhaust and on first overrun
+}
+
+// New returns a budget that aborts after maxSteps charges (0 or negative:
+// unlimited) or when ctx is done, whichever comes first. A nil ctx or
+// context.Background() disables cancellation checks.
+func New(ctx context.Context, maxSteps int64) *B {
+	b := &B{max: maxSteps}
+	if ctx != nil && ctx.Done() != nil {
+		b.ctx = ctx
+		b.done = ctx.Done()
+	}
+	return b
+}
+
+// Abort is the panic sentinel Step raises. It unwinds to the nearest
+// Guard, which returns Err. Analysis code must not swallow it: any
+// recover() in analysis code should re-panic values of this type.
+type Abort struct{ Err error }
+
+// Step charges n units against the budget, panicking with an Abort when
+// the budget is exhausted or the context is done. Safe on a nil receiver
+// (no-op) and from concurrent goroutines.
+func (b *B) Step(n int64) {
+	if b == nil {
+		return
+	}
+	if b.max > 0 && b.steps.Add(n) > b.max {
+		b.expired.Store(true)
+		panic(Abort{Err: fmt.Errorf("%w (limit %d steps)", ErrBudget, b.max)})
+	}
+	if b.done != nil && b.polls.Add(1)&ctxPollMask == 0 {
+		b.PollCtx()
+	}
+	if b.expired.Load() {
+		panic(Abort{Err: ErrBudget})
+	}
+}
+
+// PollCtx checks the context immediately (bypassing the poll throttle)
+// and aborts if it is done. No-op on a nil receiver or without a context.
+func (b *B) PollCtx() {
+	if b == nil || b.done == nil {
+		return
+	}
+	select {
+	case <-b.done:
+		panic(Abort{Err: fmt.Errorf("%w: %v", ErrCanceled, context.Cause(b.ctx))})
+	default:
+	}
+}
+
+// Done exposes the cancellation channel (nil when non-cancellable), for
+// code that needs to select on it (e.g. injected stalls).
+func (b *B) Done() <-chan struct{} {
+	if b == nil {
+		return nil
+	}
+	return b.done
+}
+
+// Exhaust marks the budget as spent: the next Step aborts with
+// ErrBudget. Used by fault injection to simulate a budget overrun
+// deterministically.
+func (b *B) Exhaust() {
+	if b == nil {
+		return
+	}
+	b.expired.Store(true)
+}
+
+// Steps reports the total units charged so far.
+func (b *B) Steps() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.steps.Load()
+}
+
+// PanicError is a foreign panic captured by Guard: the analysis crashed
+// rather than aborting cooperatively. Error() carries only the panic
+// value — the stack is kept in Stack so wire formats can stay
+// deterministic while logs keep the full trace.
+type PanicError struct {
+	Value string
+	Stack string
+}
+
+func (e *PanicError) Error() string { return "analysis panicked: " + e.Value }
+
+// Guard runs fn, converting a budget Abort into its typed error and any
+// other panic into a *PanicError. It is the containment boundary for
+// per-function / per-nest analysis and for the top-level API.
+func Guard(fn func()) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if a, ok := r.(Abort); ok {
+			err = a.Err
+			return
+		}
+		err = &PanicError{
+			Value: fmt.Sprint(r),
+			Stack: string(debug.Stack()),
+		}
+	}()
+	fn()
+	return nil
+}

@@ -1,0 +1,137 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *B
+	for i := 0; i < 1000; i++ {
+		b.Step(1 << 40)
+	}
+	b.PollCtx()
+	b.Exhaust()
+	if b.Steps() != 0 {
+		t.Fatalf("nil budget Steps = %d", b.Steps())
+	}
+}
+
+func TestStepExhaustion(t *testing.T) {
+	b := New(nil, 100)
+	err := Guard(func() {
+		for {
+			b.Step(7)
+		}
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if b.Steps() <= 100 {
+		t.Fatalf("Steps = %d, want > 100 (the overrunning charge)", b.Steps())
+	}
+}
+
+func TestUnlimitedBudgetNeverAborts(t *testing.T) {
+	b := New(context.Background(), 0)
+	err := Guard(func() {
+		for i := 0; i < 10000; i++ {
+			b.Step(1000)
+		}
+	})
+	if err != nil {
+		t.Fatalf("unlimited budget aborted: %v", err)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := New(ctx, 0)
+	err := Guard(func() {
+		for {
+			b.Step(1)
+		}
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	b := New(ctx, 0)
+	start := time.Now()
+	err := Guard(func() {
+		for {
+			b.Step(1)
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("took %v to notice the deadline", elapsed)
+	}
+}
+
+func TestExhaustInjectsBudgetError(t *testing.T) {
+	b := New(nil, 0)
+	b.Exhaust()
+	err := Guard(func() { b.Step(1) })
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestGuardCapturesForeignPanic(t *testing.T) {
+	err := Guard(func() { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %#v, want *PanicError", err)
+	}
+	if pe.Value != "kaboom" {
+		t.Fatalf("Value = %q", pe.Value)
+	}
+	if pe.Stack == "" {
+		t.Fatalf("missing stack")
+	}
+	if strings.Contains(pe.Error(), pe.Stack) {
+		t.Fatalf("Error() must not embed the stack (wire determinism)")
+	}
+}
+
+func TestGuardPassesNilThrough(t *testing.T) {
+	if err := Guard(func() {}); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentCharging(t *testing.T) {
+	b := New(nil, 1_000_000)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = Guard(func() {
+				for {
+					b.Step(100)
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if !errors.Is(err, ErrBudget) {
+			t.Fatalf("worker %d: err = %v, want ErrBudget", w, err)
+		}
+	}
+}

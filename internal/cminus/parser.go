@@ -10,8 +10,28 @@ type Parser struct {
 	toks    []Token
 	pos     int
 	nLoops  int
+	depth   int      // current statement/expression nesting depth
 	pragmas []string // pending pragmas to attach to the next loop
 }
+
+// maxNestDepth bounds statement and expression nesting. The parser is the
+// only recursive walker that sees raw (possibly adversarial) input; every
+// downstream pass recurses over the AST it builds, so capping nesting here
+// bounds stack use for the whole pipeline. A Go stack overflow is fatal
+// and unrecoverable, which is why this is a parse error and not a panic.
+const maxNestDepth = 200
+
+// enter charges one level of nesting; the caller must defer p.leave()
+// when it returns nil.
+func (p *Parser) enter() error {
+	p.depth++
+	if p.depth > maxNestDepth {
+		return p.errf("nesting too deep (limit %d levels)", maxNestDepth)
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // Parse parses a full translation unit.
 func Parse(src string) (*Program, error) {
@@ -243,6 +263,10 @@ func (p *Parser) parseBlock() (*Block, error) {
 }
 
 func (p *Parser) parseStmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case t.Kind == TokPragma:
@@ -495,6 +519,10 @@ var binPrec = map[string]int{
 func (p *Parser) parseExpr() (Expr, error) { return p.parseTernary() }
 
 func (p *Parser) parseTernary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	c, err := p.parseBinary(1)
 	if err != nil {
 		return nil, err
@@ -541,6 +569,10 @@ func (p *Parser) parseBinary(minPrec int) (Expr, error) {
 }
 
 func (p *Parser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	if t.Kind == TokPunct {
 		switch t.Text {

@@ -281,3 +281,27 @@ func TestSizeofIsOpaque(t *testing.T) {
 		t.Errorf("got %q", got)
 	}
 }
+
+func TestParseNestingCap(t *testing.T) {
+	// Pathological nesting must yield a parse error, not a stack overflow:
+	// the parser is the only recursive walker that sees raw input, and a
+	// Go stack overflow is fatal.
+	cases := map[string]string{
+		"parens":  `void f(void) { int x; x = ` + strings.Repeat("(", 5000) + "1" + strings.Repeat(")", 5000) + `; }`,
+		"unary":   `void f(void) { int x; x = ` + strings.Repeat("-", 5000) + `1; }`,
+		"blocks":  `void f(void) { ` + strings.Repeat("{", 5000) + strings.Repeat("}", 5000) + ` }`,
+		"ternary": `void f(void) { int x; x = ` + strings.Repeat("1 ? 1 : ", 5000) + `1; }`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: deep nesting parsed without error", name)
+		} else if !strings.Contains(err.Error(), "nesting too deep") {
+			t.Errorf("%s: got error %v, want nesting cap", name, err)
+		}
+	}
+	// Ordinary nesting stays well inside the cap.
+	ok := `void f(void) { int x; x = ((((1 + 2)))) * -(-3); if (x) { { x = 1 ? 2 : 3; } } }`
+	if _, err := Parse(ok); err != nil {
+		t.Errorf("ordinary nesting rejected: %v", err)
+	}
+}

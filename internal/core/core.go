@@ -6,8 +6,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
+	"repro/internal/budget"
 	"repro/internal/cminus"
 	"repro/internal/inline"
 	"repro/internal/interp"
@@ -54,6 +57,22 @@ type Options struct {
 	// additionally fans out across sources. 0 or 1 analyzes serially.
 	// Results are bit-identical for every worker count.
 	Workers int
+	// Ctx cancels the analysis: once done, the pipeline aborts at its
+	// next budget checkpoint with an error wrapping budget.ErrCanceled.
+	// Nil means non-cancellable.
+	Ctx context.Context
+	// Timeout bounds one program's analysis wall-clock time (a per-source
+	// deadline layered over Ctx). 0 means no deadline.
+	Timeout time.Duration
+	// Budget bounds one program's analysis work in abstract steps
+	// (statements, CFG nodes, proofs, expression nodes). Exhaustion
+	// aborts with an error wrapping budget.ErrBudget. 0 means unlimited.
+	//
+	// Note: step charges in the symbolic layer depend on memo-cache
+	// warmth, so *where* a tight budget trips may vary between runs —
+	// but a budget abort always yields a typed error, never a divergent
+	// result, and budget/cancellation errors are never cached.
+	Budget int64
 }
 
 // Result is a completed analysis of one program.
@@ -70,20 +89,53 @@ func Analyze(src string, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeProgram(prog, opt), nil
+	return AnalyzeProgram(prog, opt)
 }
 
 // AnalyzeProgram analyzes an already-parsed program.
-func AnalyzeProgram(prog *cminus.Program, opt Options) *Result {
-	if opt.Inline {
-		prog = inline.Expand(prog, 4)
+//
+// The analysis runs under opt's budget and context: exhaustion returns an
+// error wrapping budget.ErrBudget, cancellation one wrapping
+// budget.ErrCanceled. A panic that escapes the per-function containment
+// (i.e. one outside Pass 1/Pass 2 job bodies) is captured here and
+// returned as a *budget.PanicError instead of crashing the caller;
+// contained per-function crashes appear in Result.Plan.Diagnostics with
+// partial results for the remaining functions.
+func AnalyzeProgram(prog *cminus.Program, opt Options) (*Result, error) {
+	ctx := opt.Ctx
+	if opt.Timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
 	}
-	dict := ranges.New()
-	for _, sym := range opt.AssumePositive {
-		dict.Set(sym, symbolic.One, nil)
+	b := budget.New(ctx, opt.Budget)
+
+	var plan *parallelize.Plan
+	err := budget.Guard(func() {
+		// An already-canceled context aborts before any work: small
+		// programs may finish in fewer charges than one poll interval.
+		b.PollCtx()
+		if opt.Inline {
+			prog = inline.Expand(prog, 4)
+		}
+		dict := ranges.New()
+		for _, sym := range opt.AssumePositive {
+			dict.Set(sym, symbolic.One, nil)
+		}
+		plan = parallelize.Run(prog, opt.Level, &parallelize.Options{
+			Assume:  dict,
+			Ablate:  opt.Ablate,
+			Workers: opt.Workers,
+			Budget:  b,
+		})
+	})
+	if err != nil {
+		return nil, err
 	}
-	plan := parallelize.Run(prog, opt.Level, &parallelize.Options{Assume: dict, Ablate: opt.Ablate, Workers: opt.Workers})
-	return &Result{Plan: plan, Source: prog}
+	return &Result{Plan: plan, Source: prog}, nil
 }
 
 // Source is one named program in a batch analysis.
@@ -123,6 +175,18 @@ func AnalyzeBatch(sources []Source, opt Options) []*BatchResult {
 		if s.Opt != nil {
 			o = *s.Opt
 			o.Workers = opt.Workers
+			// Resource bounds are batch-level unless the override narrows
+			// them: a per-source Opt must not drop the caller's deadline
+			// or budget.
+			if o.Ctx == nil {
+				o.Ctx = opt.Ctx
+			}
+			if o.Timeout == 0 {
+				o.Timeout = opt.Timeout
+			}
+			if o.Budget == 0 {
+				o.Budget = opt.Budget
+			}
 		}
 		res, err := Analyze(s.Src, o)
 		out[i] = &BatchResult{Name: s.Name, Res: res, Err: err}

@@ -86,6 +86,16 @@ type LoopJSON struct {
 	UsedProperties []string          `json:"used_properties,omitempty"`
 }
 
+// DiagnosticJSON is the wire form of one contained analysis crash. The
+// message is deterministic (panic value, no stack trace), so responses
+// for identical failing inputs stay byte-identical and cacheable.
+type DiagnosticJSON struct {
+	Func    string `json:"func"`
+	Stage   string `json:"stage"`
+	Loop    string `json:"loop,omitempty"`
+	Message string `json:"message"`
+}
+
 // ResultJSON is the wire form of one analyzed source.
 type ResultJSON struct {
 	Name  string `json:"name"`
@@ -97,6 +107,10 @@ type ResultJSON struct {
 	// Loops lists every dependence-tested loop, ordered by function name
 	// then loop label.
 	Loops []LoopJSON `json:"loops,omitempty"`
+	// Diagnostics lists per-function/per-nest analysis crashes that were
+	// contained: the named units degraded to "no result", the rest of
+	// this result is a normal partial analysis.
+	Diagnostics []DiagnosticJSON `json:"diagnostics,omitempty"`
 	// AnnotatedSource is the OpenMP-annotated program (only when the
 	// caller asked for annotation).
 	AnnotatedSource string `json:"annotated_source,omitempty"`
@@ -175,6 +189,14 @@ func (r *Result) JSON(name string, annotate bool) ResultJSON {
 			}
 			out.Loops = append(out.Loops, lj)
 		}
+	}
+	for _, d := range r.Plan.Diagnostics {
+		out.Diagnostics = append(out.Diagnostics, DiagnosticJSON{
+			Func:    d.Func,
+			Stage:   d.Stage,
+			Loop:    d.Loop,
+			Message: d.Message(),
+		})
 	}
 	if annotate {
 		out.AnnotatedSource = r.AnnotatedSource()

@@ -1,10 +1,53 @@
 package core
 
-import "testing"
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
 
-// FuzzAnalyze: the full pipeline (parse → normalize → Phase 1 → Phase 2 →
-// dependence test → plan) must never panic, and the annotated output of
-// an accepted program must reparse and re-analyze cleanly.
+	"repro/internal/budget"
+)
+
+// fuzzOptions bounds each fuzz execution so adversarial inputs cannot
+// hang the worker: a generous step budget for the analysis plus a
+// wall-clock backstop. Hitting either limit is an acceptable outcome
+// (typed error), not a crash.
+func fuzzOptions() Options {
+	return Options{Level: New, Budget: 2 << 20, Timeout: 10 * time.Second}
+}
+
+// resourceAbort reports whether err is a budget/cancellation abort — the
+// two typed errors bounded analysis is allowed to return.
+func resourceAbort(err error) bool {
+	return errors.Is(err, budget.ErrBudget) || errors.Is(err, budget.ErrCanceled)
+}
+
+// checkAnalyze is the shared fuzz body: the full pipeline (parse →
+// normalize → Phase 1 → Phase 2 → dependence test → plan) must never
+// panic or exceed its resource bounds by more than the checkpoint
+// granularity, and the annotated output of an accepted program must
+// reparse and re-analyze cleanly.
+func checkAnalyze(t *testing.T, src string) {
+	t.Helper()
+	res, err := Analyze(src, fuzzOptions())
+	if err != nil {
+		var pe *budget.PanicError
+		if errors.As(err, &pe) {
+			t.Fatalf("analysis panicked: %v\ninput: %q", err, src)
+		}
+		return
+	}
+	annotated := res.AnnotatedSource()
+	if _, err := Analyze(annotated, fuzzOptions()); err != nil && !resourceAbort(err) {
+		t.Fatalf("annotated source fails to re-analyze: %v\ninput: %q\nannotated:\n%s",
+			err, src, annotated)
+	}
+	_ = res.Summary()
+}
+
 func FuzzAnalyze(f *testing.F) {
 	seeds := []string{
 		`void f(int n, int *a) { int i, m; m = 0; for (i = 0; i < n; i++) { if (a[i] > 0) a[m++] = i; } }`,
@@ -18,16 +61,45 @@ func FuzzAnalyze(f *testing.F) {
 	for _, s := range seeds {
 		f.Add(s)
 	}
-	f.Fuzz(func(t *testing.T, src string) {
-		res, err := Analyze(src, Options{Level: New})
+	// Past crashers ride along as seeds so the fuzzer starts from known
+	// weak spots.
+	for _, src := range crasherCorpus(f) {
+		f.Add(src)
+	}
+	f.Fuzz(checkAnalyze)
+}
+
+// crasherCorpus reads testdata/crashers — inputs that once crashed or
+// hung the pipeline, kept as a permanent regression corpus.
+func crasherCorpus(tb testing.TB) []string {
+	tb.Helper()
+	dir := filepath.Join("testdata", "crashers")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		tb.Fatalf("crasher corpus: %v", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return
+			tb.Fatalf("crasher corpus: %v", err)
 		}
-		annotated := res.AnnotatedSource()
-		if _, err := Analyze(annotated, Options{Level: New}); err != nil {
-			t.Fatalf("annotated source fails to re-analyze: %v\ninput: %q\nannotated:\n%s",
-				err, src, annotated)
-		}
-		_ = res.Summary()
-	})
+		out = append(out, string(b))
+	}
+	if len(out) == 0 {
+		tb.Fatal("crasher corpus is empty")
+	}
+	return out
+}
+
+// TestCrashersRegression replays every stored crasher through the fuzz
+// body on every ordinary `go test` run, so a regression is caught
+// without running the fuzzer.
+func TestCrashersRegression(t *testing.T) {
+	for _, src := range crasherCorpus(t) {
+		checkAnalyze(t, src)
+	}
 }

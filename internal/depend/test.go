@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/cminus"
+	"repro/internal/faults"
 	"repro/internal/normalize"
 	"repro/internal/property"
 	"repro/internal/ranges"
@@ -66,6 +67,8 @@ func NewTester(props *property.DB, dict *ranges.Dict) *Tester {
 
 // Analyze decides whether loop can be run in parallel.
 func (t *Tester) Analyze(loop *cminus.ForStmt, meta *normalize.LoopMeta) *Decision {
+	t.Dict.Step(1)
+	faults.Inject("depend.Analyze", loop.Label, t.Dict.Budget())
 	d := &Decision{Label: loop.Label, Reductions: map[string]string{}}
 	if meta == nil || !meta.Eligible {
 		d.Reason = "loop not in canonical form"
@@ -131,6 +134,7 @@ func (t *Tester) Analyze(loop *cminus.ForStmt, meta *normalize.LoopMeta) *Decisi
 			// A write is checked against every access including itself
 			// (output dependence across iterations).
 			for _, b := range accs {
+				t.Dict.Step(1)
 				if ok, reason := t.pairIndependent(a, b, info, d); !ok {
 					d.Reason = fmt.Sprintf("array %q: %s", arr, reason)
 					return d

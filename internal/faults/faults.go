@@ -1,0 +1,154 @@
+// Package faults is a deterministic failpoint registry for tests. The
+// analysis pipeline calls Inject(site, detail, b) at a handful of named
+// sites; in production nothing is registered and the call is a single
+// atomic load. Tests arm the registry and attach an Action — a panic, a
+// stall, or a forced budget exhaustion — to a site, optionally filtered
+// to one detail value (e.g. a single function name), to prove that the
+// containment and cancellation machinery holds: a stalled analysis must
+// hit its deadline and free its worker slot, a panicking function must
+// become a structured diagnostic with partial results, an exhausted
+// budget must surface as a typed ErrBudget.
+//
+// Sites currently instrumented (site → detail):
+//
+//	phase2.AnalyzeFunc  → function name   (per-function array analysis)
+//	phase2.analyzeLoop  → loop label      (per-loop Phase-1+aggregation step)
+//	phase1.Run          → ""              (CFG symbolic execution entry)
+//	depend.Analyze      → loop label      (per-nest dependence test)
+//
+// Actions are one-shot by default (Count=1) so an injected panic hits a
+// single function of a batch; Times(n) widens that, Forever() removes
+// the limit.
+package faults
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/budget"
+)
+
+// armed short-circuits Inject in production: no test has called Arm, so
+// every Inject is one atomic load and a branch.
+var armed atomic.Bool
+
+type kind int
+
+const (
+	kindPanic kind = iota
+	kindStall
+	kindExhaust
+)
+
+// Action is a registered fault: what to do when an armed site is hit.
+type Action struct {
+	kind    kind
+	msg     string
+	maxWait time.Duration
+	detail  string
+	left    atomic.Int64
+	hits    atomic.Int64
+}
+
+// Panic returns an action that panics with msg at the site.
+func Panic(msg string) *Action {
+	a := &Action{kind: kindPanic, msg: msg}
+	a.left.Store(1)
+	return a
+}
+
+// Stall returns an action that blocks until the analysis budget is
+// canceled (then aborts via the budget) or maxWait elapses, whichever is
+// first. With a nil/non-cancellable budget it simply sleeps maxWait.
+func Stall(maxWait time.Duration) *Action {
+	a := &Action{kind: kindStall, maxWait: maxWait}
+	a.left.Store(1)
+	return a
+}
+
+// ExhaustBudget returns an action that marks the budget as spent, so the
+// very next charge aborts with budget.ErrBudget.
+func ExhaustBudget() *Action {
+	a := &Action{kind: kindExhaust}
+	a.left.Store(1)
+	return a
+}
+
+// For restricts the action to hits whose detail matches (e.g. one
+// function name). Returns the action for chaining.
+func (a *Action) For(detail string) *Action {
+	a.detail = detail
+	return a
+}
+
+// Times sets how many matching hits trigger the action (default 1).
+func (a *Action) Times(n int64) *Action {
+	a.left.Store(n)
+	return a
+}
+
+// Forever removes the hit limit.
+func (a *Action) Forever() *Action {
+	a.left.Store(1 << 62)
+	return a
+}
+
+// Hits reports how many times the action actually fired.
+func (a *Action) Hits() int64 { return a.hits.Load() }
+
+var (
+	mu       sync.Mutex
+	registry = map[string]*Action{}
+)
+
+// Set arms the registry and attaches a to site, replacing any previous
+// action there. Call Reset (usually via t.Cleanup) when done.
+func Set(site string, a *Action) {
+	mu.Lock()
+	registry[site] = a
+	mu.Unlock()
+	armed.Store(true)
+}
+
+// Reset disarms the registry and removes every action.
+func Reset() {
+	mu.Lock()
+	registry = map[string]*Action{}
+	mu.Unlock()
+	armed.Store(false)
+}
+
+// Inject is the failpoint hook compiled into the pipeline. It is a no-op
+// unless a test has armed the registry and attached a matching action to
+// this site. b may be nil (site has no budget in scope).
+func Inject(site, detail string, b *budget.B) {
+	if !armed.Load() {
+		return
+	}
+	mu.Lock()
+	a := registry[site]
+	mu.Unlock()
+	if a == nil || (a.detail != "" && a.detail != detail) {
+		return
+	}
+	if a.left.Add(-1) < 0 {
+		return
+	}
+	a.hits.Add(1)
+	switch a.kind {
+	case kindPanic:
+		panic("fault injected: " + a.msg)
+	case kindStall:
+		select {
+		case <-b.Done():
+			// Canceled mid-stall: abort through the budget so the usual
+			// Abort/Guard path reports ErrCanceled.
+			b.PollCtx()
+		case <-time.After(a.maxWait):
+		}
+	case kindExhaust:
+		b.Exhaust()
+		b.Step(1)
+	}
+}

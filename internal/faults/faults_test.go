@@ -1,0 +1,79 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Reset()
+	Inject("phase1.Run", "", nil) // must not panic or block
+}
+
+func TestPanicAction(t *testing.T) {
+	t.Cleanup(Reset)
+	Set("site", Panic("boom"))
+	err := budget.Guard(func() { Inject("site", "", nil) })
+	var pe *budget.PanicError
+	if !errors.As(err, &pe) || !strings.Contains(pe.Value, "boom") {
+		t.Fatalf("err = %v, want injected panic", err)
+	}
+	// One-shot: the second hit passes through.
+	if err := budget.Guard(func() { Inject("site", "", nil) }); err != nil {
+		t.Fatalf("second hit fired: %v", err)
+	}
+}
+
+func TestDetailFilter(t *testing.T) {
+	t.Cleanup(Reset)
+	a := Panic("boom").For("g")
+	Set("site", a)
+	if err := budget.Guard(func() { Inject("site", "f", nil) }); err != nil {
+		t.Fatalf("non-matching detail fired: %v", err)
+	}
+	if err := budget.Guard(func() { Inject("site", "g", nil) }); err == nil {
+		t.Fatalf("matching detail did not fire")
+	}
+	if a.Hits() != 1 {
+		t.Fatalf("Hits = %d", a.Hits())
+	}
+}
+
+func TestStallAbortsOnCancel(t *testing.T) {
+	t.Cleanup(Reset)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	b := budget.New(ctx, 0)
+	Set("site", Stall(30*time.Second))
+	start := time.Now()
+	err := budget.Guard(func() { Inject("site", "", b) })
+	if !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("stall ignored cancellation")
+	}
+}
+
+func TestStallTimesOutWithoutBudget(t *testing.T) {
+	t.Cleanup(Reset)
+	Set("site", Stall(10*time.Millisecond))
+	if err := budget.Guard(func() { Inject("site", "", nil) }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExhaustBudget(t *testing.T) {
+	t.Cleanup(Reset)
+	b := budget.New(nil, 1_000_000)
+	Set("site", ExhaustBudget())
+	err := budget.Guard(func() { Inject("site", "", b) })
+	if !errors.Is(err, budget.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}

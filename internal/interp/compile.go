@@ -1226,8 +1226,10 @@ func (fc *fnCompiler) compileStmt(s cminus.Stmt) cstmt {
 	case *cminus.WhileStmt:
 		cond := fc.compileB(x.Cond)
 		body := fc.compileBlock(x.Body)
+		m := fc.c.m
 		return func(fr *frame) control {
 			for cond(fr) {
+				m.interruptCompiled()
 				switch body(fr) {
 				case ctlBreak:
 					return ctlNext
@@ -1526,6 +1528,7 @@ func (fc *fnCompiler) compileSerialFor(loop *cminus.ForStmt, body cstmt) cstmt {
 	if loop.Cond != nil {
 		cond = fc.compileB(loop.Cond)
 	}
+	m := fc.c.m
 	return func(fr *frame) control {
 		if init != nil {
 			if ctl := init(fr); ctl == ctlReturn {
@@ -1533,6 +1536,7 @@ func (fc *fnCompiler) compileSerialFor(loop *cminus.ForStmt, body cstmt) cstmt {
 			}
 		}
 		for {
+			m.interruptCompiled()
 			if cond != nil && !cond(fr) {
 				return ctlNext
 			}

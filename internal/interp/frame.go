@@ -315,6 +315,7 @@ func (pl *cparloop) runChunk(wfr *frame, start, end int64) control {
 	if pl.ivarCell {
 		c := wfr.cells[ivar]
 		for it := start; it < end; it++ {
+			pl.m.interruptCompiled()
 			c.I = it
 			if ctl := pl.body(wfr); ctl != ctlNext {
 				return ctl
@@ -323,6 +324,7 @@ func (pl *cparloop) runChunk(wfr *frame, start, end int64) control {
 		return ctlNext
 	}
 	for it := start; it < end; it++ {
+		pl.m.interruptCompiled()
 		wfr.ints[ivar] = it
 		if ctl := pl.body(wfr); ctl != ctlNext {
 			return ctl

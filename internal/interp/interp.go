@@ -1,11 +1,14 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/budget"
 	"repro/internal/cminus"
 	"repro/internal/parallelize"
 )
@@ -25,6 +28,13 @@ type Machine struct {
 	// slot-resolved closure engine (default), "tree" for the original
 	// tree-walking oracle.
 	Interp string
+	// Ctx cancels a running program: both engines poll it at loop back
+	// edges (every 1024 edges machine-wide) and abort with an error
+	// wrapping budget.ErrCanceled. Nil means non-cancellable.
+	Ctx context.Context
+	// edges counts loop back edges since machine creation; shared across
+	// parallel workers, so polling stays one atomic add per edge.
+	edges atomic.Int64
 	// Globals holds global scalars.
 	Globals map[string]*Value
 	// Arrays holds all arrays (global or passed in by the host).
@@ -285,6 +295,9 @@ func (m *Machine) execStmt(s cminus.Stmt, e *env, fp *parallelize.FuncPlan) erro
 		return m.execFor(x, e, fp)
 	case *cminus.WhileStmt:
 		for {
+			if err := m.interrupt(); err != nil {
+				return err
+			}
 			c, err := m.eval(x.Cond, e)
 			if err != nil {
 				return err
@@ -324,6 +337,33 @@ var (
 	errBreak    = fmt.Errorf("break")
 	errContinue = fmt.Errorf("continue")
 )
+
+// backEdgeMask throttles Ctx polls to one per 1024 loop back edges.
+const backEdgeMask = 1<<10 - 1
+
+// interrupt reports a cancellation error once m.Ctx is done. Both
+// engines call it at every loop back edge; with no context the cost is
+// one nil check, with one it is one shared atomic add.
+func (m *Machine) interrupt() error {
+	if m.Ctx == nil {
+		return nil
+	}
+	if m.edges.Add(1)&backEdgeMask != 0 {
+		return nil
+	}
+	if m.Ctx.Err() != nil {
+		return fmt.Errorf("interp: execution %w: %v", budget.ErrCanceled, context.Cause(m.Ctx))
+	}
+	return nil
+}
+
+// interruptCompiled is interrupt for the compiled engine, which
+// propagates runtime errors by engineErr panic.
+func (m *Machine) interruptCompiled() {
+	if err := m.interrupt(); err != nil {
+		panic(engineErr{err})
+	}
+}
 
 func (m *Machine) execAssign(x *cminus.AssignStmt, e *env) error {
 	rhs, err := m.eval(x.RHS, e)
@@ -750,6 +790,9 @@ func (m *Machine) execFor(loop *cminus.ForStmt, e *env, fp *parallelize.FuncPlan
 		}
 	}
 	for {
+		if err := m.interrupt(); err != nil {
+			return err
+		}
 		if loop.Cond != nil {
 			c, err := m.eval(loop.Cond, scope)
 			if err != nil {
@@ -851,6 +894,9 @@ func (m *Machine) execParallelFor(loop *cminus.ForStmt, e *env, fp *parallelize.
 		iv := &Value{}
 		local.vars[ivar] = iv
 		for it := start; it < end; it++ {
+			if err := m.interrupt(); err != nil {
+				return err
+			}
 			iv.I = it
 			if err := m.execBlock(loop.Body, &env{vars: map[string]*Value{}, parent: local}, fp); err != nil {
 				return err

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/budget"
 	"repro/internal/cminus"
 	"repro/internal/depend"
 	"repro/internal/phase2"
@@ -79,12 +80,40 @@ func (fp *FuncPlan) indexLoops() {
 	}
 }
 
+// Diagnostic records a contained per-function or per-nest analysis crash:
+// the analysis of that unit was abandoned (it degrades to "no properties,
+// keep serial"), but the rest of the program's results stand.
+type Diagnostic struct {
+	// Func is the function whose analysis crashed.
+	Func string
+	// Stage is "analyze" (Pass 1, array analysis) or "plan" (Pass 2,
+	// dependence testing).
+	Stage string
+	// Loop is the nest label for Stage "plan" (empty for "analyze").
+	Loop string
+	// Err is the captured *budget.PanicError.
+	Err error
+}
+
+// Message renders the diagnostic deterministically (no stack traces, so
+// wire encodings of identical failures stay byte-identical).
+func (d Diagnostic) Message() string {
+	where := d.Func
+	if d.Loop != "" {
+		where += "/" + d.Loop
+	}
+	return fmt.Sprintf("%s %s: %v", d.Stage, where, d.Err)
+}
+
 // Plan is a whole-program parallelization plan.
 type Plan struct {
 	Level phase2.Level
 	// Props is the merged property database across all functions.
 	Props *property.DB
 	Funcs map[string]*FuncPlan
+	// Diagnostics lists contained analysis crashes, sorted by function,
+	// stage and loop. Empty on a clean run.
+	Diagnostics []Diagnostic
 	// source is the original program the plan was built from.
 	source *cminus.Program
 }
@@ -118,9 +147,21 @@ type Options struct {
 	// independent, property databases merge in sorted function-name order,
 	// and per-nest decisions merge in source order.
 	Workers int
+	// Budget bounds the analysis (steps and/or cancellation). When it
+	// aborts, Run panics with budget.Abort — callers that set a Budget
+	// must wrap Run in budget.Guard (core.AnalyzeProgram does); callers
+	// that leave it nil never observe the panic.
+	Budget *budget.B
 }
 
 // Run parallelizes a program at the given analysis level.
+//
+// Per-function (Pass 1) and per-nest (Pass 2) work runs under panic
+// containment: a crash in one unit becomes a Plan.Diagnostics entry and
+// that unit degrades (no properties / serial loops) while every other
+// unit's results stand. A budget abort (exhaustion or cancellation) is
+// fatal for the whole run and re-panics as budget.Abort once all workers
+// have finished — see Options.Budget.
 func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 	if opts == nil {
 		opts = &Options{}
@@ -128,6 +169,9 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 	dict := opts.Assume
 	if dict == nil {
 		dict = ranges.New()
+	}
+	if opts.Budget != nil {
+		dict.AttachBudget(opts.Budget)
 	}
 	workers := opts.Workers
 	if workers < 1 {
@@ -138,7 +182,9 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 	// Pass 1: array analysis over every function, fanned out over the
 	// worker pool. Each worker analyzes into its own pushed range scope
 	// and its own property database, so the analyses are independent; the
-	// shared parent dictionary is only read.
+	// shared parent dictionary is only read. sched.For runs jobs on raw
+	// goroutines, so the guard must live inside the job closure: an
+	// uncontained panic there would kill the process.
 	var funcs []*cminus.FuncDecl
 	for _, fn := range prog.Funcs {
 		if fn.Body != nil {
@@ -146,9 +192,29 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 		}
 	}
 	results := make([]*phase2.FuncAnalysis, len(funcs))
+	jobErrs := make([]error, len(funcs))
 	sched.For(len(funcs), sched.Options{Workers: workers}, func(i int) {
-		results[i] = phase2.AnalyzeFuncOpts(funcs[i], level, dict.Push(), opts.Ablate)
+		jobErrs[i] = budget.Guard(func() {
+			results[i] = phase2.AnalyzeFuncOpts(funcs[i], level, dict.Push(), opts.Ablate)
+		})
 	})
+	var fatal error
+	for i, err := range jobErrs {
+		if err == nil {
+			continue
+		}
+		if pe, ok := err.(*budget.PanicError); ok {
+			plan.Diagnostics = append(plan.Diagnostics,
+				Diagnostic{Func: funcs[i].Name, Stage: "analyze", Err: pe})
+			results[i] = nil
+			continue
+		}
+		// Budget abort: fatal for the whole run.
+		fatal = err
+	}
+	if fatal != nil {
+		panic(budget.Abort{Err: fatal})
+	}
 
 	// Merge the per-function property databases in sorted function-name
 	// order — a deterministic order independent of worker scheduling (the
@@ -165,6 +231,10 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 	sort.Strings(names)
 	for _, n := range names {
 		fa := analyses[n]
+		if fa == nil {
+			// Contained Pass-1 crash: no properties from this function.
+			continue
+		}
 		for _, arr := range fa.Props.Arrays() {
 			for _, p := range fa.Props.Lookup(arr) {
 				plan.Props.Add(p)
@@ -185,16 +255,38 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 	for _, fn := range funcs {
 		fa := analyses[fn.Name]
 		plan.Funcs[fn.Name] = &FuncPlan{Name: fn.Name, Analysis: fa, Loops: map[string]*LoopPlan{}}
+		if fa == nil {
+			// No analysis: the function keeps its original body, serial.
+			continue
+		}
 		for _, top := range topLoops(fa.Func.Body) {
 			jobs = append(jobs, nestJob{fa: fa, loop: top})
 		}
 	}
 	planned := make([]map[string]*LoopPlan, len(jobs))
+	planErrs := make([]error, len(jobs))
 	sched.For(len(jobs), sched.Options{Workers: workers}, func(i int) {
-		m := map[string]*LoopPlan{}
-		planNest(tester, jobs[i].fa, m, jobs[i].loop, 1)
-		planned[i] = m
+		planErrs[i] = budget.Guard(func() {
+			m := map[string]*LoopPlan{}
+			planNest(tester, jobs[i].fa, m, jobs[i].loop, 1)
+			planned[i] = m
+		})
 	})
+	for i, err := range planErrs {
+		if err == nil {
+			continue
+		}
+		if pe, ok := err.(*budget.PanicError); ok {
+			plan.Diagnostics = append(plan.Diagnostics, Diagnostic{
+				Func: jobs[i].fa.Func.Name, Stage: "plan", Loop: jobs[i].loop.Label, Err: pe})
+			planned[i] = nil // the nest stays serial
+			continue
+		}
+		fatal = err
+	}
+	if fatal != nil {
+		panic(budget.Abort{Err: fatal})
+	}
 	for i, job := range jobs {
 		fp := plan.Funcs[job.fa.Func.Name]
 		for lbl, lp := range planned[i] {
@@ -203,10 +295,29 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 	}
 	for _, fn := range funcs {
 		fp := plan.Funcs[fn.Name]
-		fp.Annotated = annotate(analyses[fn.Name].Func, fp)
+		if fp.Analysis == nil {
+			fp.Annotated = fn
+		} else {
+			fp.Annotated = annotate(fp.Analysis.Func, fp)
+		}
 		fp.indexLoops()
 	}
+	sortDiagnostics(plan.Diagnostics)
 	return plan
+}
+
+// sortDiagnostics orders contained-crash reports deterministically, so
+// plans (and their wire encodings) are identical across worker counts.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Func != ds[j].Func {
+			return ds[i].Func < ds[j].Func
+		}
+		if ds[i].Stage != ds[j].Stage {
+			return ds[i].Stage < ds[j].Stage
+		}
+		return ds[i].Loop < ds[j].Loop
+	})
 }
 
 // planNest decides one loop; when it is not parallelizable, descends into
@@ -359,6 +470,12 @@ func (p *Plan) Summary() string {
 				fmt.Fprintf(&b, " — %s", detail)
 			}
 			b.WriteString("\n")
+		}
+	}
+	if len(p.Diagnostics) > 0 {
+		b.WriteString("analysis diagnostics (contained crashes):\n")
+		for _, d := range p.Diagnostics {
+			fmt.Fprintf(&b, "  %s\n", d.Message())
 		}
 	}
 	return b.String()

@@ -13,8 +13,10 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/budget"
 	"repro/internal/cfg"
 	"repro/internal/cminus"
+	"repro/internal/faults"
 	"repro/internal/normalize"
 	"repro/internal/symbolic"
 )
@@ -110,6 +112,10 @@ type Config struct {
 	Meta *normalize.LoopMeta
 	// Collapsed maps inner loop labels to their Phase-2 collapse results.
 	Collapsed map[string]*CollapsedLoop
+	// Budget, when non-nil, is charged per CFG node; an exhausted budget
+	// or a canceled context aborts the run with budget.Abort (recovered
+	// at the per-function guard in the parallelizer).
+	Budget *budget.B
 }
 
 // Result is the Phase-1 output.
@@ -170,6 +176,7 @@ func AssignedVars(body *cminus.Block, collapsed map[string]*CollapsedLoop) (scal
 
 // Run performs the Phase-1 symbolic execution over the loop body.
 func Run(body *cminus.Block, cf *Config) (*Result, error) {
+	faults.Inject("phase1.Run", "", cf.Budget)
 	g, err := cfg.Build(body)
 	if err != nil {
 		return nil, err
@@ -194,6 +201,10 @@ func Run(body *cminus.Block, cf *Config) (*Result, error) {
 	facts := map[*cfg.Edge]edgeFact{}
 
 	for _, n := range g.Nodes {
+		// One budget step per CFG node bounds the symbolic execution; the
+		// heavy per-node work (unions, proofs) is charged separately by
+		// the symbolic layer through the range dictionary.
+		cf.Budget.Step(1)
 		// Compute the in-state.
 		var in *State
 		var inCond symbolic.Expr

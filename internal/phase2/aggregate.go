@@ -63,6 +63,9 @@ func Aggregate(level Level, meta *normalize.LoopMeta, p1 *phase1.Result, parent 
 func AggregateOpts(level Level, opts Opts, meta *normalize.LoopMeta, p1 *phase1.Result, parent *ranges.Dict) *LoopAggregate {
 	n := convertCount(meta.Count)
 	ctx := parent.Push()
+	// One budget step per aggregated variable bounds Algorithm 1; the
+	// proofs it issues charge separately through ctx.
+	ctx.Step(int64(len(p1.LVVs) + len(p1.ArraysWritten) + 1))
 	// The loop runs iterations 0..N-1; the analysis considers a loop that
 	// executes, so the index range assumes N >= 1.
 	ctx.Set(meta.Var, symbolic.Zero, symbolic.SubExpr(n, symbolic.One))

@@ -2,6 +2,7 @@ package phase2
 
 import (
 	"repro/internal/cminus"
+	"repro/internal/faults"
 	"repro/internal/normalize"
 	"repro/internal/phase1"
 	"repro/internal/property"
@@ -31,11 +32,15 @@ func AnalyzeFunc(fn *cminus.FuncDecl, level Level, assume *ranges.Dict) *FuncAna
 	return AnalyzeFuncOpts(fn, level, assume, Opts{})
 }
 
-// AnalyzeFuncOpts is AnalyzeFunc with ablation toggles.
+// AnalyzeFuncOpts is AnalyzeFunc with ablation toggles. A budget attached
+// to assume (ranges.Dict.AttachBudget) bounds the whole analysis of this
+// function: the walk, Phase 1, aggregation and every symbolic proof
+// charge it, and exhaustion or cancellation unwinds with budget.Abort.
 func AnalyzeFuncOpts(fn *cminus.FuncDecl, level Level, assume *ranges.Dict, opts Opts) *FuncAnalysis {
 	if assume == nil {
 		assume = ranges.New()
 	}
+	faults.Inject("phase2.AnalyzeFunc", fn.Name, assume.Budget())
 	norm := normalize.Func(fn)
 	fa := &FuncAnalysis{
 		Level:    level,
@@ -82,6 +87,7 @@ func (w *walker) walkBlock(blk *cminus.Block) {
 }
 
 func (w *walker) walkStmt(s cminus.Stmt) {
+	w.dict.Step(1)
 	switch x := s.(type) {
 	case *cminus.DeclStmt:
 		// Normalization split initializers into assignments.
@@ -230,6 +236,8 @@ func (w *walker) finalizeProperty(p *property.ArrayProperty, sub symbolic.Subst)
 // collapse for the enclosing level (nil Failed collapse when the loop
 // cannot be analyzed).
 func (w *walker) analyzeLoop(loop *cminus.ForStmt) *phase1.CollapsedLoop {
+	w.dict.Step(1)
+	faults.Inject("phase2.analyzeLoop", loop.Label, w.dict.Budget())
 	meta := w.fa.Norm.Loops[loop.Label]
 	failed := func(reason string) *phase1.CollapsedLoop {
 		w.fa.Failures[loop.Label] = reason
@@ -263,7 +271,7 @@ func (w *walker) analyzeLoop(loop *cminus.ForStmt) *phase1.CollapsedLoop {
 		}
 	}
 
-	p1res, err := phase1.Run(loop.Body, &phase1.Config{Meta: meta, Collapsed: collapsedMap})
+	p1res, err := phase1.Run(loop.Body, &phase1.Config{Meta: meta, Collapsed: collapsedMap, Budget: w.dict.Budget()})
 	if err != nil {
 		return failed(err.Error())
 	}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/budget"
 	"repro/internal/symbolic"
 )
 
@@ -20,6 +21,10 @@ import (
 type Dict struct {
 	parent *Dict
 	m      map[string]entry
+	// b is the analysis budget; inherited by child scopes, so attaching a
+	// budget to the root dictionary makes every sign proof in the analysis
+	// bill it (Dict implements symbolic.Stepper). Nil: unlimited.
+	b *budget.B
 }
 
 type entry struct {
@@ -34,8 +39,19 @@ func New() *Dict {
 // Push returns a child scope; bindings added to the child shadow the
 // parent and disappear when the child is discarded.
 func (d *Dict) Push() *Dict {
-	return &Dict{parent: d, m: map[string]entry{}}
+	return &Dict{parent: d, m: map[string]entry{}, b: d.b}
 }
+
+// AttachBudget binds the analysis budget to this scope (and, via Push,
+// to every scope derived from it).
+func (d *Dict) AttachBudget(b *budget.B) { d.b = b }
+
+// Budget returns the attached analysis budget (nil when unlimited).
+func (d *Dict) Budget() *budget.B { return d.b }
+
+// Step implements symbolic.Stepper: symbolic proofs running under this
+// dictionary charge the attached budget. Safe without a budget.
+func (d *Dict) Step(n int64) { d.b.Step(n) }
 
 // Set binds sym to [lo:hi] in the current scope. Either bound may be nil.
 func (d *Dict) Set(sym string, lo, hi symbolic.Expr) {
@@ -120,4 +136,7 @@ func (d *Dict) String() string {
 	return "{" + strings.Join(parts, ", ") + "}"
 }
 
-var _ symbolic.Context = (*Dict)(nil)
+var (
+	_ symbolic.Context = (*Dict)(nil)
+	_ symbolic.Stepper = (*Dict)(nil)
+)

@@ -75,7 +75,12 @@ type metrics struct {
 	coalesced atomic.Int64 // requests served by joining an in-flight analysis
 	shed      atomic.Int64 // requests rejected with 429 by admission control
 	timeouts  atomic.Int64 // requests that hit the per-request deadline
-	latency   histogram
+	// Robustness counters (PR 4): typed resource aborts and contained
+	// crashes, each observable per scrape.
+	cancellations   atomic.Int64 // analyses aborted by context cancellation/deadline
+	budgetExhausted atomic.Int64 // analyses aborted by the step budget
+	recoveredPanics atomic.Int64 // per-function panics contained into diagnostics
+	latency         histogram
 }
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -102,6 +107,9 @@ func (s *Server) writeMetrics(w io.Writer) {
 	writeCounter(w, "subsubd_coalesced_total", "Requests served by joining an identical in-flight analysis.", m.coalesced.Load())
 	writeCounter(w, "subsubd_shed_total", "Requests rejected with 429 by admission control.", m.shed.Load())
 	writeCounter(w, "subsubd_timeouts_total", "Requests that exceeded the per-request deadline.", m.timeouts.Load())
+	writeCounter(w, "subsubd_cancellations_total", "Analyses aborted by cancellation or deadline.", m.cancellations.Load())
+	writeCounter(w, "subsubd_budget_exhausted_total", "Analyses aborted by the step budget.", m.budgetExhausted.Load())
+	writeCounter(w, "subsubd_recovered_panics_total", "Per-function analysis panics contained into diagnostics.", m.recoveredPanics.Load())
 	writeGauge(w, "subsubd_queue_depth", "Analyses waiting for a worker slot.", float64(s.waiting.Load()))
 	writeGauge(w, "subsubd_inflight", "Analyses currently holding a worker slot.", float64(len(s.sem)))
 	writeGauge(w, "subsubd_workers", "Configured worker-slot capacity.", float64(cap(s.sem)))

@@ -1,0 +1,232 @@
+package server
+
+// Fault-injection end-to-end tests for the robustness guarantees (PR 4):
+// a stalled analysis hits the deadline, frees its worker slot and the
+// daemon keeps serving; a panicking function yields 200 with structured
+// diagnostics and partial results. Faults are injected with the
+// deterministic failpoints in internal/faults, so these run the REAL
+// pipeline — no analyze override.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+const twoFuncSrc = `
+void good(int n, int *idx, double *x) {
+    int i;
+    for (i = 0; i < n; i++) { x[idx[i]] = x[idx[i]] + 1.0; }
+}
+void bad(int n, double *y) {
+    int i;
+    for (i = 0; i < n; i++) { y[i] = y[i] * 2.0; }
+}
+`
+
+// TestFaultStallTimesOutAndFreesSlot proves the worker-slot-leak fix: a
+// stalled analysis is aborted by the request deadline, the single worker
+// slot is released, and a follow-up request on the same (queueless)
+// server succeeds instead of being shed forever.
+func TestFaultStallTimesOutAndFreesSlot(t *testing.T) {
+	defer faults.Reset()
+	stall := faults.Stall(30 * time.Second)
+	faults.Set("phase2.AnalyzeFunc", stall)
+
+	s := New(Config{Workers: 1, MaxQueue: -1, RequestTimeout: 250 * time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	start := time.Now()
+	resp, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Sources: []SourceJSON{{Name: "stall.c", Src: twoFuncSrc}}})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("stalled analysis: status %d, want 504", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("stalled analysis took %v, want ~deadline", elapsed)
+	}
+	if stall.Hits() == 0 {
+		t.Fatal("stall failpoint never fired; test exercised nothing")
+	}
+
+	// The slot is released when the detached leader notices the deadline.
+	// With MaxQueue < 0 a held slot means 429, so a 200 here proves the
+	// slot came back.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body := postAnalyze(t, ts.URL, AnalyzeRequest{Sources: []SourceJSON{{Name: "after.c", Src: twoFuncSrc}}})
+		if resp.StatusCode == http.StatusOK {
+			if !strings.Contains(string(body), "\"results\"") {
+				t.Fatalf("follow-up body: %s", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker slot never freed: follow-up status %d", resp.StatusCode)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if got := s.met.cancellations.Load(); got == 0 {
+		t.Error("cancellations counter not incremented")
+	}
+}
+
+// TestFaultPanicYields200WithDiagnostics proves per-function panic
+// containment end to end: one function's analysis crashes, the response
+// is still 200 with results for the healthy function plus a structured
+// diagnostic for the crashed one, and the recovered_panics counter moves.
+func TestFaultPanicYields200WithDiagnostics(t *testing.T) {
+	defer faults.Reset()
+	faults.Set("phase2.AnalyzeFunc", faults.Panic("injected crash").For("bad"))
+
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, body := postAnalyze(t, ts.URL, AnalyzeRequest{Sources: []SourceJSON{{Name: "mix.c", Src: twoFuncSrc}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200; body: %s", resp.StatusCode, body)
+	}
+	got := string(body)
+	if !strings.Contains(got, "\"diagnostics\"") || !strings.Contains(got, "injected crash") {
+		t.Fatalf("response lacks the structured diagnostic: %s", got)
+	}
+	if !strings.Contains(got, "\"func\": \"bad\"") {
+		t.Fatalf("diagnostic does not name the crashed function: %s", got)
+	}
+	if !strings.Contains(got, "\"good\"") {
+		t.Fatalf("healthy function missing from partial results: %s", got)
+	}
+	if got := s.met.recoveredPanics.Load(); got != 1 {
+		t.Errorf("recovered_panics = %d, want 1", got)
+	}
+
+	// The worker is not wedged: a clean follow-up analysis succeeds.
+	resp, _ = postAnalyze(t, ts.URL, AnalyzeRequest{Sources: []SourceJSON{{Name: "clean.c", Src: twoFuncSrc}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestBudgetExhaustedIs422 proves the configured step budget surfaces as
+// a typed client error (422), is counted, and is never cached.
+func TestBudgetExhaustedIs422(t *testing.T) {
+	defer faults.Reset()
+	faults.Set("phase2.AnalyzeFunc", faults.ExhaustBudget())
+
+	s := New(Config{MaxSteps: 1 << 20})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := AnalyzeRequest{Sources: []SourceJSON{{Name: "b.c", Src: twoFuncSrc}}}
+	resp, body := postAnalyze(t, ts.URL, req)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422; body: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "budget") {
+		t.Fatalf("422 body should name the budget: %s", body)
+	}
+	if got := s.met.budgetExhausted.Load(); got == 0 {
+		t.Error("budget_exhausted counter not incremented")
+	}
+	// A failed analysis must not poison the cache: the same request now
+	// succeeds (the failpoint was one-shot) and reports a cache miss.
+	resp2, _ := postAnalyze(t, ts.URL, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("retry status %d, want 200", resp2.StatusCode)
+	}
+	if state := resp2.Header.Get("X-Subsubd-Cache"); state == "hit" {
+		t.Fatal("budget-exhausted response was cached")
+	}
+}
+
+// TestHealthzReadyz covers the liveness and readiness endpoints: healthz
+// is unconditionally 200, readyz flips to 503 while draining and back.
+func TestHealthzReadyz(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	check := func(path string, wantStatus int, wantBody string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 256)
+		n, _ := resp.Body.Read(buf)
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s: status %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+		if !strings.Contains(string(buf[:n]), wantBody) {
+			t.Fatalf("%s: body %q, want %q", path, buf[:n], wantBody)
+		}
+	}
+
+	check("/healthz", http.StatusOK, "ok")
+	check("/readyz", http.StatusOK, "\"ready\":true")
+
+	s.SetDraining(true)
+	check("/healthz", http.StatusOK, "ok") // liveness stays green while draining
+	check("/readyz", http.StatusServiceUnavailable, "draining")
+	s.SetDraining(false)
+	check("/readyz", http.StatusOK, "\"ready\":true")
+}
+
+// TestReadyzQueueFull: readiness fails while the admission queue is at
+// the shed threshold and recovers once it drains.
+func TestReadyzQueueFull(t *testing.T) {
+	s := New(Config{Workers: 1, MaxQueue: 1})
+	started, release, _ := gate(s, []byte("{\"results\":[]}\n"))
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Occupy the only worker slot, then fill the one queue seat with a
+	// second, different request. Raw posts: t.Fatal must not be called
+	// from these goroutines.
+	post := func(body string) {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+	go post(`{"sources":[{"name":"a.c","src":"void a() {}"}]}`)
+	<-started
+	go post(`{"sources":[{"name":"b.c","src":"void b() {}"}]}`)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ok, reason := s.ready(); !ok && reason == "queue full" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never reported queue full")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with full queue: status %d, want 503", resp.StatusCode)
+	}
+
+	close(release)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if ok, _ := s.ready(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never recovered after drain")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/symbolic"
 )
@@ -57,6 +58,10 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes bounds the request body (default 8 MiB).
 	MaxBodyBytes int64
+	// MaxSteps bounds each analysis in abstract budget steps
+	// (core.Options.Budget). 0 means unlimited: the deadline alone bounds
+	// the work.
+	MaxSteps int64
 
 	noQueue bool // set by New when the caller explicitly passed MaxQueue < 0
 }
@@ -101,10 +106,17 @@ type Server struct {
 	sem     chan struct{}
 	waiting atomic.Int64
 
-	// analyze produces the encoded response for a normalized request. It
-	// defaults to the real pipeline and is overridable by tests that need
-	// to gate or fail the analysis deterministically.
-	analyze func(*AnalyzeRequest) ([]byte, error)
+	// draining flips when the process has been told to shut down; /readyz
+	// reports 503 so load balancers stop routing here while in-flight
+	// requests finish.
+	draining atomic.Bool
+
+	// analyze produces the encoded response for a normalized request. The
+	// context carries the analysis deadline; honouring it is what frees the
+	// worker slot when an analysis stalls. It defaults to the real pipeline
+	// and is overridable by tests that need to gate or fail the analysis
+	// deterministically.
+	analyze func(context.Context, *AnalyzeRequest) ([]byte, error)
 }
 
 // New builds a server with the given bounds. Pass MaxQueue < 0 to disable
@@ -123,6 +135,8 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/health", s.handleHealth)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux = mux
@@ -233,7 +247,14 @@ func hashField(h io.Writer, s string) {
 // defaultAnalyze runs the real pipeline and encodes the response with the
 // same marshaller the subsubcc CLI uses, so daemon and CLI output are
 // byte-identical for identical inputs.
-func (s *Server) defaultAnalyze(req *AnalyzeRequest) ([]byte, error) {
+//
+// Resource errors are whole-request outcomes, never response content: a
+// source aborted by the deadline or the step budget fails the request
+// with a typed error (classified by the caller), because a partial body
+// must never enter the content-addressed cache. Contained per-function
+// panics, by contrast, ARE response content — they surface as per-result
+// diagnostics with partial results, counted in recovered_panics.
+func (s *Server) defaultAnalyze(ctx context.Context, req *AnalyzeRequest) ([]byte, error) {
 	lvl, err := core.ParseLevel(req.Level)
 	if err != nil {
 		return nil, err
@@ -247,8 +268,20 @@ func (s *Server) defaultAnalyze(req *AnalyzeRequest) ([]byte, error) {
 		AssumePositive: req.Assume,
 		Inline:         req.Inline,
 		Workers:        s.cfg.AnalysisWorkers,
+		Ctx:            ctx,
+		Budget:         s.cfg.MaxSteps,
 	}
-	return core.MarshalBatch(core.AnalyzeBatch(sources, opt), req.Annotate)
+	results := core.AnalyzeBatch(sources, opt)
+	for _, br := range results {
+		if br.Err != nil {
+			if errors.Is(br.Err, budget.ErrCanceled) || errors.Is(br.Err, budget.ErrBudget) {
+				return nil, fmt.Errorf("source %q: %w", br.Name, br.Err)
+			}
+			continue
+		}
+		s.met.recoveredPanics.Add(int64(len(br.Res.Plan.Diagnostics)))
+	}
+	return core.MarshalBatch(results, req.Annotate)
 }
 
 // errShed marks a request rejected by admission control.
@@ -280,16 +313,24 @@ func (s *Server) admit(ctx context.Context) error {
 func (s *Server) release() { <-s.sem }
 
 // runAnalysis is the singleflight leader body: pass admission, run the
-// analysis, populate the cache.
+// analysis under the leader's deadline, populate the cache. Passing ctx
+// into the analysis is what keeps worker slots leak-free: a stalled
+// analysis aborts at its next budget checkpoint and releases its slot
+// instead of holding it past the deadline.
 func (s *Server) runAnalysis(ctx context.Context, key string, req *AnalyzeRequest) ([]byte, error) {
 	if err := s.admit(ctx); err != nil {
 		return nil, err
 	}
 	defer s.release()
 	s.met.analyses.Add(1)
-	body, err := s.analyze(req)
-	if err == nil {
+	body, err := s.analyze(ctx, req)
+	switch {
+	case err == nil:
 		s.cache.put(key, body)
+	case errors.Is(err, budget.ErrCanceled):
+		s.met.cancellations.Add(1)
+	case errors.Is(err, budget.ErrBudget):
+		s.met.budgetExhausted.Add(1)
 	}
 	return body, err
 }
@@ -357,6 +398,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			s.met.shed.Add(1)
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+		case errors.Is(out.err, budget.ErrBudget):
+			// The configured step budget bounds what this daemon will
+			// analyze; the request as posed cannot be processed here.
+			http.Error(w, out.err.Error(), http.StatusUnprocessableEntity)
+		case errors.Is(out.err, budget.ErrCanceled):
+			// The leader's deadline fired mid-analysis.
+			http.Error(w, out.err.Error(), http.StatusGatewayTimeout)
 		case out.err != nil:
 			http.Error(w, out.err.Error(), http.StatusInternalServerError)
 		default:
@@ -390,6 +438,37 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "{\"status\":\"ok\"}\n")
 }
 
+// SetDraining flips the readiness state. The daemon sets it on SIGTERM so
+// /readyz fails (stop routing new work here) while in-flight requests
+// drain; liveness (/healthz) stays green throughout.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// ready reports whether this instance should receive new work, with the
+// reason when it should not.
+func (s *Server) ready() (bool, string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	if s.cfg.MaxQueue > 0 {
+		if q := s.waiting.Load(); q >= int64(s.cfg.MaxQueue) {
+			return false, "queue full"
+		}
+	} else if len(s.sem) >= cap(s.sem) {
+		// No queue configured: new work is shed while every slot is busy.
+		return false, "at capacity"
+	}
+	return true, "ok"
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	ok, reason := s.ready()
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintf(w, "{\"ready\":%t,\"reason\":%q}\n", ok, reason)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.writeMetrics(w)
@@ -410,14 +489,18 @@ type statsJSON struct {
 	} `json:"symbolic_cache"`
 	ResultCache cacheStats `json:"result_cache"`
 	Server      struct {
-		Requests   int64 `json:"requests"`
-		Analyses   int64 `json:"analyses"`
-		Coalesced  int64 `json:"coalesced"`
-		Shed       int64 `json:"shed"`
-		Timeouts   int64 `json:"timeouts"`
-		QueueDepth int64 `json:"queue_depth"`
-		Inflight   int   `json:"inflight"`
-		Workers    int   `json:"workers"`
+		Requests        int64 `json:"requests"`
+		Analyses        int64 `json:"analyses"`
+		Coalesced       int64 `json:"coalesced"`
+		Shed            int64 `json:"shed"`
+		Timeouts        int64 `json:"timeouts"`
+		Cancellations   int64 `json:"cancellations"`
+		BudgetExhausted int64 `json:"budget_exhausted"`
+		RecoveredPanics int64 `json:"recovered_panics"`
+		QueueDepth      int64 `json:"queue_depth"`
+		Inflight        int   `json:"inflight"`
+		Workers         int   `json:"workers"`
+		Draining        bool  `json:"draining"`
 	} `json:"server"`
 }
 
@@ -463,9 +546,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st.Server.Coalesced = s.met.coalesced.Load()
 	st.Server.Shed = s.met.shed.Load()
 	st.Server.Timeouts = s.met.timeouts.Load()
+	st.Server.Cancellations = s.met.cancellations.Load()
+	st.Server.BudgetExhausted = s.met.budgetExhausted.Load()
+	st.Server.RecoveredPanics = s.met.recoveredPanics.Load()
 	st.Server.QueueDepth = s.waiting.Load()
 	st.Server.Inflight = len(s.sem)
 	st.Server.Workers = cap(s.sem)
+	st.Server.Draining = s.draining.Load()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

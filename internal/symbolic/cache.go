@@ -129,6 +129,7 @@ func ResetCache() {
 	canonCache.reset()
 	internCache.reset()
 	internCount.Store(0)
+	capHits.Store(0)
 }
 
 // CacheStats is a snapshot of the memoization counters.
@@ -143,6 +144,9 @@ type CacheStats struct {
 	Interned int64
 	// Entries is the current number of memoized Simplify results.
 	Entries int
+	// CapHits counts expressions degraded to ⊥ by the structural
+	// depth/node caps (see limits.go).
+	CapHits int64
 }
 
 // HitRate returns the combined hit fraction across the Simplify and
@@ -165,6 +169,7 @@ func ReadCacheStats() CacheStats {
 		Evictions:      simpCache.evictions.Load() + canonCache.evictions.Load() + internCache.evictions.Load(),
 		Interned:       internCount.Load(),
 		Entries:        simpCache.entries(),
+		CapHits:        capHits.Load(),
 	}
 }
 
@@ -177,6 +182,11 @@ func ReadCacheStats() CacheStats {
 func Intern(e Expr) Expr {
 	if e == nil {
 		return nil
+	}
+	if exceedsLimits(e) {
+		// Too large to key without deep recursion; interning is
+		// best-effort, so just hand the instance back.
+		return e
 	}
 	key := structuralKey(e)
 	if v, ok := internCache.get(key); ok {
@@ -191,6 +201,12 @@ func Intern(e Expr) Expr {
 // comparison key the engine sorts and deduplicates by.
 func CanonicalString(e Expr) string {
 	if e == nil {
+		return Bottom{}.String()
+	}
+	// Same structural caps as Simplify, checked before the recursive key
+	// render; the result matches Simplify(e).String() for capped inputs.
+	if exceedsLimits(e) {
+		capHits.Add(1)
 		return Bottom{}.String()
 	}
 	if cacheOff.Load() {

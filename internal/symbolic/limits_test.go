@@ -1,0 +1,94 @@
+package symbolic
+
+import (
+	"testing"
+)
+
+// deepAdd builds an Add chain of the given nesting depth iteratively (the
+// test harness must not itself recurse).
+func deepAdd(depth int) Expr {
+	e := Expr(NewSym("x"))
+	for i := 0; i < depth; i++ {
+		e = Add{Terms: []Expr{e, One}}
+	}
+	return e
+}
+
+func TestDepthCapDegradesToBottom(t *testing.T) {
+	before := ReadCacheStats().CapHits
+	e := deepAdd(maxExprDepth * 4)
+	if got := Simplify(e); !IsBottom(got) {
+		t.Fatalf("Simplify(deep) = %v, want ⊥", got)
+	}
+	if got := CanonicalString(e); got != (Bottom{}).String() {
+		t.Fatalf("CanonicalString(deep) = %q", got)
+	}
+	if after := ReadCacheStats().CapHits; after <= before {
+		t.Fatalf("CapHits did not increase (%d -> %d)", before, after)
+	}
+}
+
+func TestNodeCapDegradesToBottom(t *testing.T) {
+	// Shallow but enormous: one Add with maxExprNodes+10 children.
+	terms := make([]Expr, maxExprNodes+10)
+	for i := range terms {
+		terms[i] = One
+	}
+	if got := Simplify(Add{Terms: terms}); !IsBottom(got) {
+		t.Fatalf("Simplify(wide) = %v, want ⊥", got)
+	}
+}
+
+func TestCapIsDeterministicAcrossCacheStates(t *testing.T) {
+	e := deepAdd(maxExprDepth * 2)
+	warm := Simplify(e)
+	again := Simplify(e)
+	prev := SetCacheEnabled(false)
+	cold := Simplify(e)
+	SetCacheEnabled(prev)
+	if !IsBottom(warm) || !IsBottom(again) || !IsBottom(cold) {
+		t.Fatalf("capped results differ: warm=%v again=%v cold=%v", warm, again, cold)
+	}
+}
+
+func TestWithinLimitsUnaffected(t *testing.T) {
+	e := AddExpr(NewSym("n"), NewInt(3))
+	if got := Simplify(e).String(); got != AddExpr(NewSym("n"), NewInt(3)).String() {
+		// The exact rendering is covered elsewhere; here we only require
+		// that a normal expression does not degrade.
+		if IsBottom(Simplify(e)) {
+			t.Fatalf("small expression degraded to ⊥")
+		}
+		_ = got
+	}
+}
+
+type countStepper struct{ n int64 }
+
+func (c *countStepper) Step(n int64) { c.n += n }
+
+func TestSimplifyCountedCharges(t *testing.T) {
+	var s countStepper
+	e := AddExpr(NewSym("a"), NewSym("b"))
+	SimplifyCounted(e, &s)
+	if s.n == 0 {
+		t.Fatalf("no steps charged")
+	}
+	var s2 countStepper
+	if CompareCounted(e, NewSym("a"), &s2); s2.n == 0 {
+		t.Fatalf("CompareCounted charged nothing")
+	}
+	// nil Stepper must be accepted.
+	SimplifyCounted(e, nil)
+	CompareCounted(e, e, nil)
+}
+
+func TestMeasureCountsNodes(t *testing.T) {
+	n, big := measure(AddExpr(NewSym("a"), NewSym("b")))
+	if big || n < 3 {
+		t.Fatalf("measure = (%d, %v)", n, big)
+	}
+	if _, big := measure(deepAdd(maxExprDepth + 5)); !big {
+		t.Fatalf("deep expression not flagged")
+	}
+}

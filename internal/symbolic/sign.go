@@ -52,10 +52,16 @@ func (EmptyContext) RangeOf(string) (Expr, Expr, bool) { return nil, nil, false 
 
 const maxSignDepth = 8
 
-// SignOf computes the sign of e under ctx.
+// SignOf computes the sign of e under ctx. A ctx that also implements
+// Stepper (the range dictionary, when an analysis budget is attached) is
+// charged one step per proof, so runaway proof cascades abort with the
+// budget's typed error instead of running unbounded.
 func SignOf(e Expr, ctx Context) Sign {
 	if ctx == nil {
 		ctx = EmptyContext{}
+	}
+	if s, ok := ctx.(Stepper); ok {
+		s.Step(1)
 	}
 	return signOf(Simplify(e), ctx, maxSignDepth)
 }

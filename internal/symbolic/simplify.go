@@ -25,6 +25,14 @@ func Simplify(e Expr) Expr {
 	case Int, Sym, Lambda, BigLambda, Bottom, BoolLit:
 		return e
 	}
+	// Structural caps: an input too deep or too large to canonicalize
+	// degrades to ⊥ before any recursion (see limits.go). Children seen
+	// during recursive simplification are subtrees of a measured input,
+	// so they pass their own (smaller) check.
+	if exceedsLimits(e) {
+		capHits.Add(1)
+		return Bottom{}
+	}
 	if cacheOff.Load() {
 		return simplify1(e)
 	}
