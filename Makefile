@@ -20,7 +20,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet test race check fuzz fuzz-smoke fault-e2e bench benchsmoke serve-smoke experiments
+.PHONY: build fmt vet test race check fuzz fuzz-smoke fault-e2e bench benchsmoke serve-smoke trace-smoke experiments
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,19 @@ benchsmoke:
 serve-smoke:
 	$(GO) run ./cmd/subsubd -selfcheck examples/daemon/request.json
 
+# CLI tracing smoke: analyze two real benchmarks with -trace, which
+# validates the emitted Chrome trace-event JSON before writing it, then
+# double-check the profile parses and names the pipeline stages.
+trace-smoke:
+	@tmp="$$(mktemp /tmp/subsubcc-trace.XXXXXX.json)"; \
+	trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./cmd/subsubcc -trace "$$tmp" testdata/sddmm.c testdata/cg.c >/dev/null || exit 1; \
+	grep -q '"traceEvents"' "$$tmp" || { echo "trace-smoke: no traceEvents in $$tmp" >&2; exit 1; }; \
+	for stage in parse phase1 phase2 depend annotate; do \
+		grep -q "\"cat\": \"$$stage\"" "$$tmp" || { echo "trace-smoke: no $$stage span" >&2; exit 1; }; \
+	done; \
+	echo "trace-smoke ok"
+
 # Whole-pipeline fuzz smoke: parse → analyze → re-analyze annotated
 # output under a step budget and deadline. -fuzz accepts one package.
 fuzz-smoke:
@@ -60,7 +73,7 @@ fuzz-smoke:
 fault-e2e:
 	$(GO) test -race -run 'TestFault|TestBudgetExhausted|TestHealthzReadyz|TestReadyz' ./internal/server/
 
-check: fmt vet build test race benchsmoke serve-smoke fuzz-smoke fault-e2e
+check: fmt vet build test race benchsmoke serve-smoke trace-smoke fuzz-smoke fault-e2e
 
 fuzz:
 	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime 20s ./internal/cminus/

@@ -16,11 +16,18 @@
 //
 // Usage:
 //
-//	subsubcc [-level classical|base|new] [-assume sym1,sym2] [-annotate] [-json] [-workers N] [-timeout 5s] [-budget 1000000] file.c [file2.c ...]
+//	subsubcc [-level classical|base|new] [-assume sym1,sym2] [-annotate] [-json] [-workers N] [-timeout 5s] [-budget 1000000] [-trace out.json] file.c [file2.c ...]
 //
 // -timeout and -budget bound each file's analysis in wall-clock time and
 // abstract work steps; a file that exceeds either limit fails with a
 // typed error in its own slot, reported like any other per-file failure.
+//
+// -trace records the whole batch under the pipeline trace recorder and
+// writes Chrome trace-event JSON to the given file — load it in
+// chrome://tracing or Perfetto to see parse/phase1/phase2/depend spans
+// nested per function and per source, with worker lanes for parallel
+// runs. A per-stage aggregate table (cumulative/self time, budget steps,
+// sign proofs, dependence pairs) is printed to stderr alongside.
 package main
 
 import (
@@ -31,6 +38,8 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/version"
 )
 
 func main() {
@@ -42,11 +51,17 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker pool size (files and passes fan out; output is identical for any value)")
 	timeout := flag.Duration("timeout", 0, "per-file analysis deadline (0 = none); a file that exceeds it fails like any other per-file error")
 	budgetSteps := flag.Int64("budget", 0, "per-file analysis step budget (0 = unlimited)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON profile of the analysis pipeline to this file")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: subsubcc [flags] file.c [file2.c ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("subsubcc %s\n", version.String())
+		return
+	}
 	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -66,6 +81,9 @@ func main() {
 	opt.Workers = *workers
 	opt.Timeout = *timeout
 	opt.Budget = *budgetSteps
+	if *tracePath != "" {
+		opt.Trace = trace.NewRecorder()
+	}
 
 	// Read every file; a read failure claims its result slot without
 	// aborting the rest of the batch, mirroring how a parse failure is
@@ -84,6 +102,13 @@ func main() {
 	}
 	for j, br := range core.AnalyzeBatch(sources, opt) {
 		results[sourceSlot[j]] = br
+	}
+
+	if opt.Trace != nil {
+		if err := writeTrace(opt.Trace, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "subsubcc: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *jsonOut {
@@ -122,4 +147,27 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// writeTrace validates and writes the recorded pipeline spans as Chrome
+// trace-event JSON, and prints the per-stage aggregate table to stderr.
+func writeTrace(tr *trace.Recorder, path string) error {
+	spans := tr.Spans()
+	data, err := trace.MarshalChrome(spans, "subsubcc")
+	if err != nil {
+		return fmt.Errorf("trace: %v", err)
+	}
+	if err := trace.ValidateChrome(data); err != nil {
+		return fmt.Errorf("trace: generated profile failed validation: %v", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("trace: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d spans written to %s", len(spans), path)
+	if d := tr.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, " (%d dropped at the recorder cap)", d)
+	}
+	fmt.Fprintln(os.Stderr)
+	fmt.Fprint(os.Stderr, trace.Table(trace.Aggregate(spans)))
+	return nil
 }

@@ -10,12 +10,22 @@
 //
 //	subsubd [-addr :8723] [-workers N] [-queue N] [-analysis-workers N]
 //	        [-cache-entries N] [-cache-bytes N] [-timeout D] [-budget N]
-//	        [-drain D]
+//	        [-drain D] [-flight N] [-admin addr]
 //
 // GET /healthz is the liveness probe (always 200 while the process
-// serves); GET /readyz is the readiness probe (503 while draining or
-// while the admission queue is at the shed threshold). -budget bounds
-// each analysis in abstract work steps; exceeding it returns 422.
+// serves, reporting the build version); GET /readyz is the readiness
+// probe (503 while draining or while the admission queue is at the shed
+// threshold). -budget bounds each analysis in abstract work steps;
+// exceeding it returns 422.
+//
+// Every executed analysis runs under the pipeline trace recorder; the
+// last -flight request traces are retained in memory and served by GET
+// /debug/traces (list, ?id= for one trace, &format=chrome for a Chrome
+// trace-event rendering), and their per-stage aggregates feed the
+// subsubd_stage_seconds metrics. -flight -1 disables tracing. -admin
+// binds a second, loopback-only listener exposing net/http/pprof at
+// /debug/pprof/ alongside the same observability endpoints — keep it
+// off any externally reachable address.
 //
 //	subsubd -selfcheck examples/daemon/request.json
 //
@@ -35,6 +45,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -44,6 +55,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/version"
 )
 
 func main() {
@@ -56,8 +68,16 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request analysis deadline")
 	budgetSteps := flag.Int64("budget", 0, "per-analysis step budget; exceeding it fails the request with 422 (0 = unlimited)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	flight := flag.Int("flight", 32, "request traces retained for /debug/traces (negative: disable tracing)")
+	admin := flag.String("admin", "", "admin listen address exposing net/http/pprof (e.g. 127.0.0.1:8724; empty: disabled)")
 	selfcheck := flag.String("selfcheck", "", "smoke mode: serve on an ephemeral port, replay this request file, verify, exit")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("subsubd %s\n", version.String())
+		return
+	}
 
 	cfg := server.Config{
 		Workers:         *workers,
@@ -67,6 +87,13 @@ func main() {
 		CacheBytes:      *cacheBytes,
 		RequestTimeout:  *timeout,
 		MaxSteps:        *budgetSteps,
+		FlightRecorderSize: func() int {
+			if *flight < 0 {
+				return -1
+			}
+			return *flight
+		}(),
+		Logf: log.Printf,
 	}
 	handler := server.New(cfg)
 
@@ -82,8 +109,21 @@ func main() {
 	if err != nil {
 		log.Fatalf("subsubd: %v", err)
 	}
-	log.Printf("subsubd listening on %s (workers=%d queue=%d cache=%d entries/%d bytes)",
-		ln.Addr(), *workers, *queue, *cacheEntries, *cacheBytes)
+	log.Printf("subsubd %s listening on %s (workers=%d queue=%d cache=%d entries/%d bytes)",
+		version.String(), ln.Addr(), *workers, *queue, *cacheEntries, *cacheBytes)
+
+	if *admin != "" {
+		adminLn, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatalf("subsubd: admin listener: %v", err)
+		}
+		log.Printf("subsubd admin (pprof) listening on %s", adminLn.Addr())
+		go func() {
+			if err := http.Serve(adminLn, adminMux(handler)); err != nil {
+				log.Printf("subsubd: admin listener: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -107,6 +147,24 @@ func main() {
 		log.Fatalf("subsubd: drain: %v", err)
 	}
 	log.Printf("subsubd stopped")
+}
+
+// adminMux builds the opt-in admin handler: the Go profiler under
+// /debug/pprof/ plus the daemon's own observability endpoints, so one
+// loopback port answers both "what is the process doing" (pprof) and
+// "what did the pipeline do" (traces, stats, metrics).
+func adminMux(handler *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/traces", handler)
+	mux.Handle("/metrics", handler)
+	mux.Handle("/v1/stats", handler)
+	mux.Handle("/healthz", handler)
+	return mux
 }
 
 // runSelfcheck serves on an ephemeral loopback port and drives one full
@@ -144,6 +202,10 @@ func runSelfcheck(handler *server.Server, reqPath string) error {
 	}
 	if state := resp.Header.Get("X-Subsubd-Cache"); state != "miss" {
 		return fmt.Errorf("first request: cache state %q, want miss", state)
+	}
+	firstID := resp.Header.Get("X-Request-Id")
+	if firstID == "" {
+		return fmt.Errorf("first request: no X-Request-Id header")
 	}
 	var batch core.BatchJSON
 	if err := json.Unmarshal(body, &batch); err != nil {
@@ -199,16 +261,71 @@ func runSelfcheck(handler *server.Server, reqPath string) error {
 	if err != nil {
 		return err
 	}
-	for _, want := range []string{"subsubd_cache_hits_total 1", "subsubd_analyses_total 1"} {
+	for _, want := range []string{
+		"subsubd_cache_hits_total 1", "subsubd_analyses_total 1",
+		"subsubd_stage_seconds_bucket{stage=\"phase1\"", "subsubd_goroutines",
+	} {
 		if !strings.Contains(metrics, want) {
 			return fmt.Errorf("/metrics missing %q", want)
 		}
 	}
-	if health, err := get("/v1/health"); err != nil || !strings.Contains(health, "ok") {
+	if health, err := get("/v1/health"); err != nil || !strings.Contains(health, "ok") ||
+		!strings.Contains(health, "version") {
 		return fmt.Errorf("health check failed: %q, %v", health, err)
 	}
-	if _, err := get("/v1/stats"); err != nil {
+	stats, err := get("/v1/stats")
+	if err != nil {
 		return err
+	}
+	if !strings.Contains(stats, "\"stage\": \"phase1\"") {
+		return fmt.Errorf("/v1/stats missing phase1 stage aggregates")
+	}
+
+	// The flight recorder must hold exactly the one executed analysis
+	// (the cache hit never reached the pipeline), under the first
+	// request's ID, with pipeline spans attached.
+	tracesBody, err := get("/debug/traces")
+	if err != nil {
+		return err
+	}
+	var traces struct {
+		Total  int64 `json:"total_recorded"`
+		Traces []struct {
+			ID     string `json:"id"`
+			Spans  int    `json:"spans"`
+			Stages []struct {
+				Stage string `json:"stage"`
+			} `json:"stages"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(tracesBody), &traces); err != nil {
+		return fmt.Errorf("/debug/traces: %v", err)
+	}
+	if traces.Total != 1 || len(traces.Traces) != 1 {
+		return fmt.Errorf("/debug/traces: recorded %d traces, want 1", traces.Total)
+	}
+	rt := traces.Traces[0]
+	if rt.ID != firstID {
+		return fmt.Errorf("/debug/traces: trace id %q, want first request id %q", rt.ID, firstID)
+	}
+	if rt.Spans == 0 {
+		return fmt.Errorf("/debug/traces: trace has no spans")
+	}
+	hasPhase1 := false
+	for _, st := range rt.Stages {
+		if st.Stage == "phase1" {
+			hasPhase1 = true
+		}
+	}
+	if !hasPhase1 {
+		return fmt.Errorf("/debug/traces: trace has no phase1 stage aggregate")
+	}
+	chrome, err := get("/debug/traces?id=" + rt.ID + "&format=chrome")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(chrome, "traceEvents") {
+		return fmt.Errorf("/debug/traces chrome rendering missing traceEvents")
 	}
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestAdminMuxRoutes: the opt-in admin listener serves the pprof index
+// and goroutine profiles and delegates the daemon's own observability
+// endpoints to the main handler.
+func TestAdminMuxRoutes(t *testing.T) {
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(adminMux(s))
+	defer ts.Close()
+
+	for path, want := range map[string]string{
+		"/debug/pprof/":                  "profiles",
+		"/debug/pprof/goroutine?debug=1": "goroutine profile",
+		"/healthz":                       `"version"`,
+		"/metrics":                       "subsubd_goroutines",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %s", path, resp.Status)
+			continue
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: missing %q", path, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/phase2"
 	"repro/internal/symbolic"
+	"repro/internal/trace"
 )
 
 // CompileTimeRow reports the analysis cost for one benchmark program.
@@ -66,6 +67,10 @@ type BatchReport struct {
 	// Cache is the symbolic memoization snapshot after one cold
 	// whole-corpus pass (caches reset beforehand).
 	Cache symbolic.CacheStats
+	// Stages is the per-stage time/counter attribution of one traced
+	// corpus pass (run separately from the timing reps, which stay
+	// untraced): where a whole-corpus analysis actually spends its time.
+	Stages []trace.StageAgg
 }
 
 // CorpusSources returns the twelve Table-1 benchmarks as batch sources at
@@ -130,6 +135,12 @@ func (h *Harness) CompileTimeBatch(workers int) BatchReport {
 	core.AnalyzeBatch(sources, core.Options{Workers: 1})
 	rep.Cache = symbolic.ReadCacheStats()
 
+	// Stage attribution: one traced corpus pass. Traced separately so the
+	// timing reps above measure the disabled-tracing (production) cost.
+	tr := trace.NewRecorder()
+	core.AnalyzeBatch(sources, core.Options{Workers: workers, Trace: tr})
+	rep.Stages = trace.Aggregate(tr.Spans())
+
 	h.printf("\nConcurrent batch analysis of the 12-benchmark corpus (AnalyzeBatch)\n")
 	h.printf("serial (1 worker):      %8.0fµ\n", rep.SerialMicros)
 	h.printf("parallel (%d workers):   %8.0fµ  (%.2fx)\n", rep.Workers, rep.ParallelMicros, rep.Speedup)
@@ -137,5 +148,7 @@ func (h *Harness) CompileTimeBatch(workers int) BatchReport {
 	h.printf("symbolic cache, cold corpus pass: %.1f%% hit rate (simplify %d/%d, compare %d/%d, %d entries, %d interned, %d evictions)\n",
 		100*c.HitRate(), c.SimplifyHits, c.SimplifyHits+c.SimplifyMisses,
 		c.CompareHits, c.CompareHits+c.CompareMisses, c.Entries, c.Interned, c.Evictions)
+	h.printf("\nStage attribution of one traced corpus pass (%d workers)\n", workers)
+	h.printf("%s", trace.Table(rep.Stages))
 	return rep
 }

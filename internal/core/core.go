@@ -20,6 +20,7 @@ import (
 	"repro/internal/ranges"
 	"repro/internal/sched"
 	"repro/internal/symbolic"
+	"repro/internal/trace"
 )
 
 // Level selects the analysis capability (re-exported from phase2).
@@ -73,6 +74,13 @@ type Options struct {
 	// but a budget abort always yields a typed error, never a divergent
 	// result, and budget/cancellation errors are never cached.
 	Budget int64
+	// Trace, when non-nil, records pipeline spans (parse, inline, the
+	// parallelizer's passes, per-function/per-nest analysis) into the
+	// recorder; nil disables tracing with zero overhead on the analysis
+	// hot paths. TraceParent is the span the pipeline's spans nest under
+	// (0 for top level) — AnalyzeBatch sets it to a per-source span.
+	Trace       *trace.Recorder
+	TraceParent trace.SpanID
 }
 
 // Result is a completed analysis of one program.
@@ -85,7 +93,9 @@ type Result struct {
 
 // Analyze parses src and runs the parallelizer at the configured level.
 func Analyze(src string, opt Options) (*Result, error) {
+	sp := opt.Trace.Start(opt.TraceParent, "parse")
 	prog, err := cminus.Parse(src)
+	opt.Trace.End(sp)
 	if err != nil {
 		return nil, err
 	}
@@ -113,25 +123,48 @@ func AnalyzeProgram(prog *cminus.Program, opt Options) (*Result, error) {
 	}
 	b := budget.New(ctx, opt.Budget)
 
+	tr := opt.Trace
+	asp := tr.Start(opt.TraceParent, "analyze")
+	var statsBefore symbolic.CacheStats
+	if tr.Enabled() {
+		statsBefore = symbolic.ReadCacheStats()
+	}
 	var plan *parallelize.Plan
 	err := budget.Guard(func() {
 		// An already-canceled context aborts before any work: small
 		// programs may finish in fewer charges than one poll interval.
 		b.PollCtx()
 		if opt.Inline {
+			isp := tr.Start(asp, "inline")
 			prog = inline.Expand(prog, 4)
+			tr.End(isp)
 		}
 		dict := ranges.New()
 		for _, sym := range opt.AssumePositive {
 			dict.Set(sym, symbolic.One, nil)
 		}
 		plan = parallelize.Run(prog, opt.Level, &parallelize.Options{
-			Assume:  dict,
-			Ablate:  opt.Ablate,
-			Workers: opt.Workers,
-			Budget:  b,
+			Assume:      dict,
+			Ablate:      opt.Ablate,
+			Workers:     opt.Workers,
+			Budget:      b,
+			Trace:       tr,
+			TraceParent: asp,
 		})
 	})
+	if tr.Enabled() {
+		// Cache counters are process-global, so concurrent analyses bleed
+		// into each other's deltas — good enough for the aggregate trace
+		// table, documented as an approximation.
+		after := symbolic.ReadCacheStats()
+		tr.AddCounter(asp, trace.CounterSimplified,
+			(after.SimplifyMisses - statsBefore.SimplifyMisses))
+		tr.AddCounter(asp, trace.CounterCacheHits,
+			(after.SimplifyHits-statsBefore.SimplifyHits)+(after.CompareHits-statsBefore.CompareHits))
+		tr.AddCounter(asp, trace.CounterCacheMisses,
+			(after.SimplifyMisses-statsBefore.SimplifyMisses)+(after.CompareMisses-statsBefore.CompareMisses))
+	}
+	tr.End(asp)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +202,8 @@ func AnalyzeBatch(sources []Source, opt Options) []*BatchResult {
 	if workers < 1 {
 		workers = 1
 	}
-	sched.For(len(sources), sched.Options{Workers: workers}, func(i int) {
+	tr := opt.Trace
+	sched.ForTraced(len(sources), sched.Options{Workers: workers}, tr, opt.TraceParent, func(i int, wsp trace.SpanID) {
 		s := sources[i]
 		o := opt
 		if s.Opt != nil {
@@ -188,7 +222,13 @@ func AnalyzeBatch(sources []Source, opt Options) []*BatchResult {
 				o.Budget = opt.Budget
 			}
 		}
+		// Tracing is batch-level: each source's pipeline nests under its
+		// own "source" span on the worker's lane.
+		sp := tr.StartFunc(wsp, "source", s.Name)
+		o.Trace = tr
+		o.TraceParent = sp
 		res, err := Analyze(s.Src, o)
+		tr.End(sp)
 		out[i] = &BatchResult{Name: s.Name, Res: res, Err: err}
 	})
 	return out

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// spanIndex builds id->span and stage->spans lookups over a snapshot.
+func spanIndex(spans []trace.Span) (map[trace.SpanID]trace.Span, map[string][]trace.Span) {
+	byID := map[trace.SpanID]trace.Span{}
+	byStage := map[string][]trace.Span{}
+	for _, s := range spans {
+		byID[s.ID] = s
+		byStage[s.Stage] = append(byStage[s.Stage], s)
+	}
+	return byID, byStage
+}
+
+// ancestorStages walks the parent chain of a span and returns the set of
+// stages seen on the way to the root.
+func ancestorStages(byID map[trace.SpanID]trace.Span, s trace.Span) map[string]bool {
+	seen := map[string]bool{}
+	for p := s.Parent; p != 0; p = byID[p].Parent {
+		seen[byID[p].Stage] = true
+	}
+	return seen
+}
+
+// TestAnalyzeSpanNesting runs a full analysis under a recorder and
+// checks the pipeline's span tree: parse and analyze at the top,
+// pass1 -> function -> phase1/phase2 per nest, pass2 -> plan -> depend
+// per loop, and one annotate span per function, with every span closed.
+func TestAnalyzeSpanNesting(t *testing.T) {
+	tr := trace.NewRecorder()
+	res, err := Analyze(cholSrc, Options{Level: New, AssumePositive: []string{"bs"}, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	spans := tr.Spans()
+	byID, byStage := spanIndex(spans)
+	for _, s := range spans {
+		if s.Open {
+			t.Errorf("span %d (%s %s) left open", s.ID, s.Stage, s.Func)
+		}
+	}
+	for _, stage := range []string{"parse", "analyze", "pass1", "function", "phase1", "phase2", "pass2", "plan", "depend", "annotate"} {
+		if len(byStage[stage]) == 0 {
+			t.Errorf("no %q span recorded", stage)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	// parse and analyze are roots (TraceParent was zero).
+	if p := byStage["parse"][0]; p.Parent != 0 {
+		t.Errorf("parse span has parent %d", p.Parent)
+	}
+	if a := byStage["analyze"][0]; a.Parent != 0 {
+		t.Errorf("analyze span has parent %d", a.Parent)
+	}
+	// Both functions got a pass-1 function span under pass1/analyze.
+	funcs := map[string]bool{}
+	for _, f := range byStage["function"] {
+		funcs[f.Func] = true
+		anc := ancestorStages(byID, f)
+		if !anc["pass1"] || !anc["analyze"] {
+			t.Errorf("function span %q ancestors %v, want pass1+analyze", f.Func, anc)
+		}
+	}
+	if !funcs["chol_fill"] || !funcs["chol_scale"] {
+		t.Errorf("function spans for %v, want chol_fill and chol_scale", funcs)
+	}
+	// phase1/phase2 spans nest under their function's span and carry the
+	// function and loop tags.
+	for _, stage := range []string{"phase1", "phase2"} {
+		for _, s := range byStage[stage] {
+			if s.Func == "" || s.Loop == "" {
+				t.Errorf("%s span missing func/loop tags: %+v", stage, s)
+			}
+			if parent := byID[s.Parent]; parent.Stage != "function" || parent.Func != s.Func {
+				t.Errorf("%s span for %s/%s parented to %s %s", stage, s.Func, s.Loop, parent.Stage, parent.Func)
+			}
+		}
+	}
+	// depend spans nest under a pass-2 plan span.
+	for _, s := range byStage["depend"] {
+		anc := ancestorStages(byID, s)
+		if !anc["plan"] || !anc["pass2"] {
+			t.Errorf("depend span ancestors %v, want plan+pass2", anc)
+		}
+	}
+	for _, s := range byStage["plan"] {
+		if s.Func == "" || s.Loop == "" {
+			t.Errorf("plan span missing tags: %+v", s)
+		}
+	}
+	// The phase-1 walk charges budget steps to the function spans, and
+	// the dependence tests count tested pairs and sign proofs.
+	var steps, pairs int64
+	for _, s := range byStage["function"] {
+		steps += s.Counters[trace.CounterSteps]
+	}
+	for _, s := range byStage["depend"] {
+		pairs += s.Counters[trace.CounterPairs]
+	}
+	if steps == 0 {
+		t.Error("no budget steps attributed to function spans")
+	}
+	if pairs == 0 {
+		t.Error("no dependence pairs attributed to depend spans")
+	}
+}
+
+// TestAnalyzeBatchSourceSpans: the batch driver wraps each source in its
+// own span so per-file cost is attributable in a multi-file trace.
+func TestAnalyzeBatchSourceSpans(t *testing.T) {
+	tr := trace.NewRecorder()
+	sources := []Source{
+		{Name: "a.c", Src: cholSrc},
+		{Name: "b.c", Src: cholSrc},
+		{Name: "bad.c", Src: "void broken( {"},
+	}
+	results := AnalyzeBatch(sources, Options{Workers: 2, Trace: tr})
+	if results[2].Err == nil {
+		t.Fatal("bad source should fail")
+	}
+	byID, byStage := spanIndex(tr.Spans())
+	names := map[string]bool{}
+	for _, s := range byStage["source"] {
+		names[s.Func] = true
+		if s.Open {
+			t.Errorf("source span %q left open", s.Func)
+		}
+	}
+	for _, want := range []string{"a.c", "b.c", "bad.c"} {
+		if !names[want] {
+			t.Errorf("no source span for %q", want)
+		}
+	}
+	// Every parse/analyze span sits under some source span.
+	for _, stage := range []string{"parse", "analyze"} {
+		for _, s := range byStage[stage] {
+			if !ancestorStages(byID, s)["source"] {
+				t.Errorf("%s span not under a source span", stage)
+			}
+		}
+	}
+}
+
+// TestAnalyzeUntracedRecordsNothing: the default path must not touch a
+// recorder at all.
+func TestAnalyzeUntracedRecordsNothing(t *testing.T) {
+	if _, err := Analyze(cholSrc, Options{Level: New}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkAnalyzeTracing compares a full analysis with tracing disabled
+// (the production default) and enabled, pinning the recorder's overhead
+// where it can be watched.
+func BenchmarkAnalyzeTracing(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Analyze(cholSrc, Options{Level: New, AssumePositive: []string{"bs"}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opt := Options{Level: New, AssumePositive: []string{"bs"}, Trace: trace.NewRecorder()}
+			if _, err := Analyze(cholSrc, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

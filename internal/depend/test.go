@@ -11,6 +11,7 @@ import (
 	"repro/internal/property"
 	"repro/internal/ranges"
 	"repro/internal/symbolic"
+	"repro/internal/trace"
 )
 
 // Decision is the outcome of dependence testing for one loop.
@@ -65,8 +66,21 @@ func NewTester(props *property.DB, dict *ranges.Dict) *Tester {
 	return &Tester{Props: props, Dict: dict}
 }
 
-// Analyze decides whether loop can be run in parallel.
+// Analyze decides whether loop can be run in parallel. When the range
+// dictionary carries a pipeline trace, the whole test runs under a
+// "depend" span so proof steps and pair counts are attributed to it.
 func (t *Tester) Analyze(loop *cminus.ForStmt, meta *normalize.LoopMeta) *Decision {
+	if tr, parent := t.Dict.TraceInfo(); tr.Enabled() {
+		sp := tr.StartLoop(parent, "depend", "", loop.Label)
+		defer tr.End(sp)
+		d := t.Dict.Push()
+		d.AttachTrace(tr, sp)
+		t = &Tester{Props: t.Props, Dict: d}
+	}
+	return t.analyze(loop, meta)
+}
+
+func (t *Tester) analyze(loop *cminus.ForStmt, meta *normalize.LoopMeta) *Decision {
 	t.Dict.Step(1)
 	faults.Inject("depend.Analyze", loop.Label, t.Dict.Budget())
 	d := &Decision{Label: loop.Label, Reductions: map[string]string{}}
@@ -135,6 +149,7 @@ func (t *Tester) Analyze(loop *cminus.ForStmt, meta *normalize.LoopMeta) *Decisi
 			// (output dependence across iterations).
 			for _, b := range accs {
 				t.Dict.Step(1)
+				t.Dict.Count(trace.CounterPairs, 1)
 				if ok, reason := t.pairIndependent(a, b, info, d); !ok {
 					d.Reason = fmt.Sprintf("array %q: %s", arr, reason)
 					return d

@@ -18,6 +18,7 @@ import (
 	"repro/internal/property"
 	"repro/internal/ranges"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // LoopPlan is the parallelization decision for one loop.
@@ -152,6 +153,12 @@ type Options struct {
 	// must wrap Run in budget.Guard (core.AnalyzeProgram does); callers
 	// that leave it nil never observe the panic.
 	Budget *budget.B
+	// Trace, when non-nil, records pipeline spans: pass1/pass2 phases,
+	// per-worker lanes, per-function and per-nest analysis spans, and the
+	// work counters billed through the range dictionary. TraceParent is
+	// the span the phases nest under (0 for top level).
+	Trace       *trace.Recorder
+	TraceParent trace.SpanID
 }
 
 // Run parallelizes a program at the given analysis level.
@@ -191,13 +198,20 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 			funcs = append(funcs, fn)
 		}
 	}
+	tr := opts.Trace
 	results := make([]*phase2.FuncAnalysis, len(funcs))
 	jobErrs := make([]error, len(funcs))
-	sched.For(len(funcs), sched.Options{Workers: workers}, func(i int) {
+	pass1 := tr.Start(opts.TraceParent, "pass1")
+	sched.ForTraced(len(funcs), sched.Options{Workers: workers}, tr, pass1, func(i int, wsp trace.SpanID) {
 		jobErrs[i] = budget.Guard(func() {
-			results[i] = phase2.AnalyzeFuncOpts(funcs[i], level, dict.Push(), opts.Ablate)
+			sp := tr.StartFunc(wsp, "function", funcs[i].Name)
+			defer tr.End(sp)
+			d := dict.Push()
+			d.AttachTrace(tr, sp)
+			results[i] = phase2.AnalyzeFuncOpts(funcs[i], level, d, opts.Ablate)
 		})
 	})
+	tr.End(pass1)
 	var fatal error
 	for i, err := range jobErrs {
 		if err == nil {
@@ -265,13 +279,23 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 	}
 	planned := make([]map[string]*LoopPlan, len(jobs))
 	planErrs := make([]error, len(jobs))
-	sched.For(len(jobs), sched.Options{Workers: workers}, func(i int) {
+	pass2 := tr.Start(opts.TraceParent, "pass2")
+	sched.ForTraced(len(jobs), sched.Options{Workers: workers}, tr, pass2, func(i int, wsp trace.SpanID) {
 		planErrs[i] = budget.Guard(func() {
+			jobTester := tester
+			if tr.Enabled() {
+				sp := tr.StartLoop(wsp, "plan", jobs[i].fa.Func.Name, jobs[i].loop.Label)
+				defer tr.End(sp)
+				jobDict := dict.Push()
+				jobDict.AttachTrace(tr, sp)
+				jobTester = depend.NewTester(tester.Props, jobDict)
+			}
 			m := map[string]*LoopPlan{}
-			planNest(tester, jobs[i].fa, m, jobs[i].loop, 1)
+			planNest(jobTester, jobs[i].fa, m, jobs[i].loop, 1)
 			planned[i] = m
 		})
 	})
+	tr.End(pass2)
 	for i, err := range planErrs {
 		if err == nil {
 			continue
@@ -295,12 +319,14 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 	}
 	for _, fn := range funcs {
 		fp := plan.Funcs[fn.Name]
+		sp := tr.StartFunc(opts.TraceParent, "annotate", fn.Name)
 		if fp.Analysis == nil {
 			fp.Annotated = fn
 		} else {
 			fp.Annotated = annotate(fp.Analysis.Func, fp)
 		}
 		fp.indexLoops()
+		tr.End(sp)
 	}
 	sortDiagnostics(plan.Diagnostics)
 	return plan

@@ -271,11 +271,19 @@ func (w *walker) analyzeLoop(loop *cminus.ForStmt) *phase1.CollapsedLoop {
 		}
 	}
 
+	// Phase 1 (symbolic execution of one iteration) and Phase 2
+	// (aggregation over the iteration space) each get a span per nest,
+	// parented to the enclosing function's span via the dictionary.
+	tr, parent := w.dict.TraceInfo()
+	sp := tr.StartLoop(parent, "phase1", w.fa.Func.Name, loop.Label)
 	p1res, err := phase1.Run(loop.Body, &phase1.Config{Meta: meta, Collapsed: collapsedMap, Budget: w.dict.Budget()})
+	tr.End(sp)
 	if err != nil {
 		return failed(err.Error())
 	}
+	sp = tr.StartLoop(parent, "phase2", w.fa.Func.Name, loop.Label)
 	agg := AggregateOpts(w.level, w.opts, meta, p1res, w.dict)
+	tr.End(sp)
 	w.fa.Phase1[loop.Label] = p1res
 	w.fa.Loops[loop.Label] = agg
 	return agg.Collapsed

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/symbolic"
+	"repro/internal/trace"
 )
 
 // Dict is a scoped symbolic range dictionary.
@@ -25,6 +26,14 @@ type Dict struct {
 	// budget to the root dictionary makes every sign proof in the analysis
 	// bill it (Dict implements symbolic.Stepper). Nil: unlimited.
 	b *budget.B
+	// tr/span carry the pipeline trace recorder and the span work done
+	// under this scope is attributed to. Inherited by child scopes like
+	// the budget, so attaching a per-function or per-nest span to a
+	// pushed scope attributes every step and sign proof billed through
+	// that scope chain to it. Nil tr: tracing disabled (no overhead
+	// beyond one pointer test per charge).
+	tr   *trace.Recorder
+	span trace.SpanID
 }
 
 type entry struct {
@@ -39,7 +48,7 @@ func New() *Dict {
 // Push returns a child scope; bindings added to the child shadow the
 // parent and disappear when the child is discarded.
 func (d *Dict) Push() *Dict {
-	return &Dict{parent: d, m: map[string]entry{}, b: d.b}
+	return &Dict{parent: d, m: map[string]entry{}, b: d.b, tr: d.tr, span: d.span}
 }
 
 // AttachBudget binds the analysis budget to this scope (and, via Push,
@@ -49,9 +58,43 @@ func (d *Dict) AttachBudget(b *budget.B) { d.b = b }
 // Budget returns the attached analysis budget (nil when unlimited).
 func (d *Dict) Budget() *budget.B { return d.b }
 
+// AttachTrace binds the pipeline trace recorder and the span this
+// scope's work is attributed to (and, via Push, every derived scope's).
+func (d *Dict) AttachTrace(tr *trace.Recorder, span trace.SpanID) {
+	d.tr = tr
+	d.span = span
+}
+
+// TraceInfo returns the attached recorder and span (nil/0 when tracing
+// is disabled).
+func (d *Dict) TraceInfo() (*trace.Recorder, trace.SpanID) { return d.tr, d.span }
+
 // Step implements symbolic.Stepper: symbolic proofs running under this
-// dictionary charge the attached budget. Safe without a budget.
-func (d *Dict) Step(n int64) { d.b.Step(n) }
+// dictionary charge the attached budget, and — when a trace is attached
+// — bill the steps counter of the attributed span. Safe without either.
+func (d *Dict) Step(n int64) {
+	d.b.Step(n)
+	if d.tr != nil {
+		d.tr.AddCounter(d.span, trace.CounterSteps, n)
+	}
+}
+
+// Count charges a per-span work counter of the attributed span (no-op
+// without an attached trace). The analysis passes use it for their
+// stage-specific counters (dependence pairs tested, …).
+func (d *Dict) Count(c trace.Counter, n int64) {
+	if d.tr != nil {
+		d.tr.AddCounter(d.span, c, n)
+	}
+}
+
+// CountProofs implements symbolic.ProofCounter: one charge per sign
+// query, attributed to the current span.
+func (d *Dict) CountProofs(n int64) {
+	if d.tr != nil {
+		d.tr.AddCounter(d.span, trace.CounterProofs, n)
+	}
+}
 
 // Set binds sym to [lo:hi] in the current scope. Either bound may be nil.
 func (d *Dict) Set(sym string, lo, hi symbolic.Expr) {
@@ -137,6 +180,7 @@ func (d *Dict) String() string {
 }
 
 var (
-	_ symbolic.Context = (*Dict)(nil)
-	_ symbolic.Stepper = (*Dict)(nil)
+	_ symbolic.Context      = (*Dict)(nil)
+	_ symbolic.Stepper      = (*Dict)(nil)
+	_ symbolic.ProofCounter = (*Dict)(nil)
 )

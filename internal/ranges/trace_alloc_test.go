@@ -1,0 +1,82 @@
+package ranges
+
+import (
+	"testing"
+
+	"repro/internal/symbolic"
+	"repro/internal/trace"
+)
+
+// TestTracingChargesZeroAlloc pins the tracing tax on the analysis hot
+// path: the counter-charging calls the symbolic engine makes through the
+// scope dictionary must not allocate, whether tracing is disabled (the
+// production default, d.tr == nil) or enabled (atomic adds on a live
+// span).
+func TestTracingChargesZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	off := New()
+	on := New().Push()
+	tr := trace.NewRecorder()
+	sp := tr.Start(0, "depend")
+	on.AttachTrace(tr, sp)
+
+	for _, tc := range []struct {
+		name string
+		d    *Dict
+	}{{"disabled", off}, {"enabled", on}} {
+		allocs := testing.AllocsPerRun(200, func() {
+			tc.d.Step(3)
+			tc.d.Count(trace.CounterPairs, 1)
+			tc.d.CountProofs(1)
+		})
+		if allocs != 0 {
+			t.Errorf("%s tracing: Step/Count/CountProofs allocate %.1f allocs/run, want 0", tc.name, allocs)
+		}
+	}
+	tr.End(sp)
+}
+
+// TestDisabledTracingAddsNoSignOfAllocs compares the full sign-proof
+// path (SignOf + ProveGE through a range dictionary, the workhorse of
+// the dependence tests) with and without a recorder attached. The
+// symbolic cache is disabled so both runs perform identical work, and
+// the traced run must allocate exactly as much as the untraced one —
+// the recorder's counters are charged without boxing or formatting.
+func TestDisabledTracingAddsNoSignOfAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	prev := symbolic.SetCacheEnabled(false)
+	defer symbolic.SetCacheEnabled(prev)
+
+	n := symbolic.NewSym("n")
+	i := symbolic.NewSym("i")
+	e := symbolic.SubExpr(symbolic.AddExpr(n, i), symbolic.One)
+
+	mk := func(traced bool) *Dict {
+		d := New()
+		d.Set("n", symbolic.One, nil)
+		d.Set("i", symbolic.Zero, symbolic.SubExpr(n, symbolic.One))
+		if traced {
+			tr := trace.NewRecorder()
+			d = d.Push()
+			d.AttachTrace(tr, tr.Start(0, "depend"))
+		}
+		return d
+	}
+	measure := func(d *Dict) float64 {
+		symbolic.SignOf(e, d) // warm any lazy state before counting
+		return testing.AllocsPerRun(100, func() {
+			symbolic.SignOf(e, d)
+			symbolic.ProveGE(n, symbolic.One, d)
+		})
+	}
+	base := measure(mk(false))
+	traced := measure(mk(true))
+	t.Logf("SignOf+ProveGE allocs/run: untraced %.1f, traced %.1f", base, traced)
+	if traced > base {
+		t.Fatalf("tracing adds allocations to the sign-proof path: %.1f > %.1f", traced, base)
+	}
+}

@@ -5,9 +5,12 @@
 package sched
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Policy selects the loop schedule.
@@ -106,6 +109,58 @@ func For(n int, opt Options, body func(i int)) {
 				body(i)
 			}
 		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ForTraced is For with pipeline tracing: when tr records, each worker
+// goroutine opens a "worker" span under parent covering its lifetime,
+// and the body receives that worker span as the parent for any spans it
+// opens — which is what keeps parent linkage correct when analysis jobs
+// run on pool goroutines rather than the caller's stack. With a nil
+// recorder (or serially, when the fan-out never leaves the caller's
+// goroutine) the body simply receives parent, and scheduling is
+// identical to For with the static policy.
+func ForTraced(n int, opt Options, tr *trace.Recorder, parent trace.SpanID, body func(i int, sp trace.SpanID)) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i, parent)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * per
+		end := start + per
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			break
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			wsp := parent
+			if tr.Enabled() {
+				wsp = tr.StartFunc(parent, "worker", fmt.Sprintf("w%d", w))
+				defer tr.End(wsp)
+			}
+			for i := start; i < end; i++ {
+				body(i, wsp)
+			}
+		}(w, start, end)
 	}
 	wg.Wait()
 }

@@ -9,31 +9,58 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/symbolic"
+	"repro/internal/trace"
 )
 
-// latencyBuckets are the fixed histogram bounds in seconds. Requests
-// slower than the last bound land in the implicit +Inf bucket.
-var latencyBuckets = [...]float64{
+// latencyBuckets are the default histogram bounds in seconds (request
+// latencies). Observations above the last bound land in the implicit
+// +Inf bucket.
+var latencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// stageBuckets are the bounds for per-stage span durations, which sit
+// well below request latencies (a phase1 span is typically tens of
+// microseconds).
+var stageBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
+
 // histogram is a fixed-bucket latency histogram safe for concurrent use.
+// The zero value uses latencyBuckets; set bounds before the first
+// observation for custom buckets.
 type histogram struct {
-	counts   [len(latencyBuckets) + 1]atomic.Int64 // last slot = +Inf
+	once     sync.Once
+	bounds   []float64
+	counts   []atomic.Int64 // len(bounds)+1; last slot = +Inf
 	total    atomic.Int64
 	sumNanos atomic.Int64
 }
 
+func (h *histogram) lazyInit() {
+	h.once.Do(func() {
+		if h.bounds == nil {
+			h.bounds = latencyBuckets
+		}
+		h.counts = make([]atomic.Int64, len(h.bounds)+1)
+	})
+}
+
 func (h *histogram) observe(d time.Duration) {
+	h.lazyInit()
 	s := d.Seconds()
 	i := 0
-	for i < len(latencyBuckets) && s > latencyBuckets[i] {
+	for i < len(h.bounds) && s > h.bounds[i] {
 		i++
 	}
 	h.counts[i].Add(1)
@@ -45,6 +72,7 @@ func (h *histogram) observe(d time.Duration) {
 // interpolation inside the bucket containing the target rank. Observations
 // in the +Inf bucket are reported as the last finite bound.
 func (h *histogram) quantile(q float64) float64 {
+	h.lazyInit()
 	total := h.total.Load()
 	if total == 0 {
 		return 0
@@ -56,16 +84,127 @@ func (h *histogram) quantile(q float64) float64 {
 		if cum+n >= target && n > 0 {
 			lo := 0.0
 			if i > 0 {
-				lo = latencyBuckets[i-1]
+				lo = h.bounds[i-1]
 			}
-			if i == len(latencyBuckets) {
-				return latencyBuckets[len(latencyBuckets)-1]
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
 			}
-			return lo + (latencyBuckets[i]-lo)*((target-cum)/n)
+			return lo + (h.bounds[i]-lo)*((target-cum)/n)
 		}
 		cum += n
 	}
-	return latencyBuckets[len(latencyBuckets)-1]
+	return h.bounds[len(h.bounds)-1]
+}
+
+// writeBuckets renders the cumulative bucket/sum/count series of one
+// histogram, with optional extra labels (e.g. stage="phase1").
+func (h *histogram) writeBuckets(w io.Writer, name, labels string) {
+	h.lazyInit()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, fmtFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(float64(h.sumNanos.Load())/1e9))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.total.Load())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, fmtFloat(float64(h.sumNanos.Load())/1e9))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.total.Load())
+	}
+}
+
+// stageStats accumulates per-stage span statistics across every traced
+// analysis the daemon has run: a latency histogram per stage plus the
+// cumulative aggregate (span count, total/self time, counters).
+type stageStats struct {
+	mu sync.Mutex
+	m  map[string]*stageEntry
+}
+
+type stageEntry struct {
+	agg  trace.StageAgg
+	hist *histogram
+}
+
+// record folds one analysis's per-stage aggregates and spans in.
+func (ss *stageStats) record(aggs []trace.StageAgg, spans []trace.Span) {
+	ss.mu.Lock()
+	if ss.m == nil {
+		ss.m = map[string]*stageEntry{}
+	}
+	for _, a := range aggs {
+		e := ss.m[a.Stage]
+		if e == nil {
+			e = &stageEntry{agg: trace.StageAgg{Stage: a.Stage}, hist: &histogram{bounds: stageBuckets}}
+			ss.m[a.Stage] = e
+		}
+		e.agg.Count += a.Count
+		e.agg.Total += a.Total
+		e.agg.Self += a.Self
+		if a.Max > e.agg.Max {
+			e.agg.Max = a.Max
+		}
+		for i := range a.Counters {
+			e.agg.Counters[i] += a.Counters[i]
+		}
+	}
+	hists := make(map[string]*histogram, len(ss.m))
+	for stage, e := range ss.m {
+		hists[stage] = e.hist
+	}
+	ss.mu.Unlock()
+	// Histograms are internally atomic; observe outside the lock.
+	for _, sp := range spans {
+		if h := hists[sp.Stage]; h != nil {
+			h.observe(sp.Dur)
+		}
+	}
+}
+
+// snapshot returns the cumulative per-stage aggregates, sorted by total
+// time descending (the same order trace.Aggregate uses).
+func (ss *stageStats) snapshot() []trace.StageAgg {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	out := make([]trace.StageAgg, 0, len(ss.m))
+	for _, e := range ss.m {
+		out = append(out, e.agg)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// writeTo renders the per-stage span histograms as one labelled
+// Prometheus histogram family.
+func (ss *stageStats) writeTo(w io.Writer) {
+	ss.mu.Lock()
+	stages := make([]string, 0, len(ss.m))
+	hists := make(map[string]*histogram, len(ss.m))
+	for stage, e := range ss.m {
+		stages = append(stages, stage)
+		hists[stage] = e.hist
+	}
+	ss.mu.Unlock()
+	if len(stages) == 0 {
+		return
+	}
+	sort.Strings(stages)
+	fmt.Fprintf(w, "# HELP subsubd_stage_seconds Pipeline span duration by stage.\n# TYPE subsubd_stage_seconds histogram\n")
+	for _, stage := range stages {
+		hists[stage].writeBuckets(w, "subsubd_stage_seconds", fmt.Sprintf("stage=%q", stage))
+	}
 }
 
 // metrics aggregates the serving counters that are not owned by the cache.
@@ -124,17 +263,28 @@ func (s *Server) writeMetrics(w io.Writer) {
 	// Latency histogram with estimated quantiles.
 	h := &m.latency
 	fmt.Fprintf(w, "# HELP subsubd_request_seconds Analyze request latency.\n# TYPE subsubd_request_seconds histogram\n")
-	var cum int64
-	for i, bound := range latencyBuckets {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "subsubd_request_seconds_bucket{le=%q} %d\n", fmtFloat(bound), cum)
-	}
-	cum += h.counts[len(latencyBuckets)].Load()
-	fmt.Fprintf(w, "subsubd_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "subsubd_request_seconds_sum %s\n", fmtFloat(float64(h.sumNanos.Load())/1e9))
-	fmt.Fprintf(w, "subsubd_request_seconds_count %d\n", h.total.Load())
+	h.writeBuckets(w, "subsubd_request_seconds", "")
 	writeGauge(w, "subsubd_request_seconds_p50", "Estimated median analyze latency.", h.quantile(0.50))
 	writeGauge(w, "subsubd_request_seconds_p99", "Estimated p99 analyze latency.", h.quantile(0.99))
+
+	// Per-stage pipeline span histograms (populated only while the trace
+	// flight recorder is enabled).
+	s.stages.writeTo(w)
+	if s.flightRec != nil {
+		writeCounter(w, "subsubd_traced_requests_total", "Analyses recorded by the trace flight recorder.", s.flightRec.Total())
+		writeGauge(w, "subsubd_flight_recorder_traces", "Request traces currently retained.", float64(s.flightRec.Len()))
+	}
+
+	// Go runtime health: scheduler and heap pressure alongside the
+	// serving counters, so one scrape answers "is it the daemon or the
+	// runtime".
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeGauge(w, "subsubd_goroutines", "Current number of goroutines.", float64(runtime.NumGoroutine()))
+	writeGauge(w, "subsubd_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	writeGauge(w, "subsubd_heap_sys_bytes", "Bytes of heap obtained from the OS.", float64(ms.HeapSys))
+	writeCounter(w, "subsubd_gc_cycles_total", "Completed GC cycles.", int64(ms.NumGC))
+	writeGauge(w, "subsubd_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", float64(ms.PauseTotalNs)/1e9)
 
 	// Symbolic-engine memoization (the PR 1 caches), finally observable in
 	// a running service.

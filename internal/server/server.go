@@ -20,6 +20,7 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -35,6 +36,8 @@ import (
 	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/symbolic"
+	"repro/internal/trace"
+	"repro/internal/version"
 )
 
 // Config bounds the server's resources. Zero values select defaults.
@@ -62,8 +65,20 @@ type Config struct {
 	// (core.Options.Budget). 0 means unlimited: the deadline alone bounds
 	// the work.
 	MaxSteps int64
+	// FlightRecorderSize is how many recent request traces the in-memory
+	// flight recorder retains for GET /debug/traces (default 32). Pass a
+	// negative value to disable per-request tracing entirely; 0 selects
+	// the default. While enabled, every executed analysis runs under a
+	// trace.Recorder and its per-stage aggregates feed the
+	// subsubd_stage_seconds metrics.
+	FlightRecorderSize int
+	// Logf, when non-nil, receives operational log lines (requests shed,
+	// deadlines exceeded), each tagged with the request ID so they can be
+	// correlated with trace dumps and client-side logs.
+	Logf func(format string, args ...any)
 
-	noQueue bool // set by New when the caller explicitly passed MaxQueue < 0
+	noQueue  bool // set by New when the caller explicitly passed MaxQueue < 0
+	noFlight bool // set by New when the caller explicitly passed FlightRecorderSize < 0
 }
 
 func (c *Config) applyDefaults() {
@@ -91,6 +106,12 @@ func (c *Config) applyDefaults() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.FlightRecorderSize == 0 && !c.noFlight {
+		c.FlightRecorderSize = 32
+	}
+	if c.FlightRecorderSize < 0 {
+		c.FlightRecorderSize = 0
+	}
 }
 
 // Server is the analysis service. It implements http.Handler.
@@ -111,25 +132,49 @@ type Server struct {
 	// requests finish.
 	draining atomic.Bool
 
+	// flightRec retains the last FlightRecorderSize request traces for
+	// GET /debug/traces (nil when tracing is disabled); stages is the
+	// cumulative per-stage view the traces feed.
+	flightRec *trace.FlightRecorder
+	stages    stageStats
+
+	// bootID/reqSeq generate per-request IDs: a random per-process prefix
+	// plus a sequence number, so IDs from different daemon instances (or
+	// restarts) never collide in shared logs.
+	bootID string
+	reqSeq atomic.Int64
+
 	// analyze produces the encoded response for a normalized request. The
 	// context carries the analysis deadline; honouring it is what frees the
-	// worker slot when an analysis stalls. It defaults to the real pipeline
-	// and is overridable by tests that need to gate or fail the analysis
-	// deterministically.
-	analyze func(context.Context, *AnalyzeRequest) ([]byte, error)
+	// worker slot when an analysis stalls. The recorder is non-nil exactly
+	// when the flight recorder is enabled; implementations thread it into
+	// the pipeline so the request's spans land in /debug/traces. It
+	// defaults to the real pipeline and is overridable by tests that need
+	// to gate or fail the analysis deterministically.
+	analyze func(context.Context, *AnalyzeRequest, *trace.Recorder) ([]byte, error)
 }
 
 // New builds a server with the given bounds. Pass MaxQueue < 0 to disable
-// queueing entirely (shed whenever all workers are busy).
+// queueing entirely (shed whenever all workers are busy), and
+// FlightRecorderSize < 0 to disable per-request tracing.
 func New(cfg Config) *Server {
 	if cfg.MaxQueue < 0 {
 		cfg.noQueue = true
+	}
+	if cfg.FlightRecorderSize < 0 {
+		cfg.noFlight = true
 	}
 	cfg.applyDefaults()
 	s := &Server{
 		cfg:   cfg,
 		cache: newResultCache(cfg.CacheEntries, cfg.CacheBytes),
 		sem:   make(chan struct{}, cfg.Workers),
+	}
+	var boot [4]byte
+	rand.Read(boot[:])
+	s.bootID = hex.EncodeToString(boot[:])
+	if cfg.FlightRecorderSize > 0 {
+		s.flightRec = trace.NewFlightRecorder(cfg.FlightRecorderSize)
 	}
 	s.analyze = s.defaultAnalyze
 	mux := http.NewServeMux()
@@ -139,8 +184,20 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
 	s.mux = mux
 	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// nextRequestID mints a process-unique request ID.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", s.bootID, s.reqSeq.Add(1))
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -254,7 +311,7 @@ func hashField(h io.Writer, s string) {
 // must never enter the content-addressed cache. Contained per-function
 // panics, by contrast, ARE response content — they surface as per-result
 // diagnostics with partial results, counted in recovered_panics.
-func (s *Server) defaultAnalyze(ctx context.Context, req *AnalyzeRequest) ([]byte, error) {
+func (s *Server) defaultAnalyze(ctx context.Context, req *AnalyzeRequest, tr *trace.Recorder) ([]byte, error) {
 	lvl, err := core.ParseLevel(req.Level)
 	if err != nil {
 		return nil, err
@@ -270,6 +327,7 @@ func (s *Server) defaultAnalyze(ctx context.Context, req *AnalyzeRequest) ([]byt
 		Workers:        s.cfg.AnalysisWorkers,
 		Ctx:            ctx,
 		Budget:         s.cfg.MaxSteps,
+		Trace:          tr,
 	}
 	results := core.AnalyzeBatch(sources, opt)
 	for _, br := range results {
@@ -317,13 +375,18 @@ func (s *Server) release() { <-s.sem }
 // into the analysis is what keeps worker slots leak-free: a stalled
 // analysis aborts at its next budget checkpoint and releases its slot
 // instead of holding it past the deadline.
-func (s *Server) runAnalysis(ctx context.Context, key string, req *AnalyzeRequest) ([]byte, error) {
+func (s *Server) runAnalysis(ctx context.Context, key, reqID string, req *AnalyzeRequest) ([]byte, error) {
 	if err := s.admit(ctx); err != nil {
 		return nil, err
 	}
 	defer s.release()
 	s.met.analyses.Add(1)
-	body, err := s.analyze(ctx, req)
+	var tr *trace.Recorder
+	if s.flightRec != nil {
+		tr = trace.NewRecorder()
+	}
+	start := time.Now()
+	body, err := s.analyze(ctx, req, tr)
 	switch {
 	case err == nil:
 		s.cache.put(key, body)
@@ -331,6 +394,16 @@ func (s *Server) runAnalysis(ctx context.Context, key string, req *AnalyzeReques
 		s.met.cancellations.Add(1)
 	case errors.Is(err, budget.ErrBudget):
 		s.met.budgetExhausted.Add(1)
+	}
+	if tr != nil {
+		spans := tr.Spans()
+		aggs := trace.Aggregate(spans)
+		s.stages.record(aggs, spans)
+		rt := trace.RequestTrace{ID: reqID, Start: start, Dur: time.Since(start), Stages: aggs, Spans: spans}
+		if err != nil {
+			rt.Error = err.Error()
+		}
+		s.flightRec.Add(rt)
 	}
 	return body, err
 }
@@ -350,6 +423,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Add(1)
 	start := time.Now()
 	defer func() { s.met.latency.observe(time.Since(start)) }()
+
+	// Every request gets an ID, echoed in the response, in log lines and
+	// in the trace dump, so a shed or timed-out request can be correlated
+	// across all three. Clients may supply their own via X-Request-Id.
+	reqID := r.Header.Get("X-Request-Id")
+	if reqID == "" {
+		reqID = s.nextRequestID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
@@ -386,7 +468,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			}
 		}()
 		out, err, shared := s.flight.Do(key, func() ([]byte, error) {
-			return s.runAnalysis(leadCtx, key, &req)
+			return s.runAnalysis(leadCtx, key, reqID, &req)
 		})
 		ch <- flightOut{body: out, err: err, shared: shared}
 	}()
@@ -396,14 +478,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(out.err, errShed):
 			s.met.shed.Add(1)
+			s.logf("request %s shed: at capacity (queue depth %d)", reqID, s.waiting.Load())
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
 		case errors.Is(out.err, budget.ErrBudget):
 			// The configured step budget bounds what this daemon will
 			// analyze; the request as posed cannot be processed here.
+			s.logf("request %s aborted: %v", reqID, out.err)
 			http.Error(w, out.err.Error(), http.StatusUnprocessableEntity)
 		case errors.Is(out.err, budget.ErrCanceled):
 			// The leader's deadline fired mid-analysis.
+			s.logf("request %s aborted: %v", reqID, out.err)
 			http.Error(w, out.err.Error(), http.StatusGatewayTimeout)
 		case out.err != nil:
 			http.Error(w, out.err.Error(), http.StatusInternalServerError)
@@ -419,6 +504,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		// The analysis keeps running detached; if it completes it will
 		// populate the cache for the retry.
 		s.met.timeouts.Add(1)
+		s.logf("request %s deadline exceeded after %v", reqID, time.Since(start).Round(time.Millisecond))
 		http.Error(w, "analysis deadline exceeded", http.StatusGatewayTimeout)
 	}
 }
@@ -435,7 +521,75 @@ func (s *Server) writeAnalysis(w http.ResponseWriter, body []byte, state string)
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	io.WriteString(w, "{\"status\":\"ok\"}\n")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"version\":%q}\n", version.String())
+}
+
+// traceSummaryJSON is one flight-recorder entry in the /debug/traces
+// listing (spans elided; fetch one trace by id for the full set).
+type traceSummaryJSON struct {
+	ID       string      `json:"id"`
+	Start    time.Time   `json:"start"`
+	Duration float64     `json:"duration_seconds"`
+	Error    string      `json:"error,omitempty"`
+	Spans    int         `json:"spans"`
+	Stages   []stageJSON `json:"stages"`
+}
+
+// handleTraces serves the flight recorder: GET /debug/traces lists the
+// retained request traces newest-first; ?id=<request-id> returns one
+// trace with its full span set; &format=chrome re-renders that trace as
+// Chrome trace-event JSON (load it in chrome://tracing or Perfetto).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.flightRec == nil {
+		http.Error(w, "trace flight recorder disabled (FlightRecorderSize < 0)", http.StatusNotFound)
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		rt, ok := s.flightRec.Get(id)
+		if !ok {
+			http.Error(w, "no retained trace with that id", http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			data, err := trace.MarshalChrome(rt.Spans, "subsubd "+rt.ID)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rt)
+		return
+	}
+	traces := s.flightRec.Snapshot()
+	out := struct {
+		Total  int64              `json:"total_recorded"`
+		Traces []traceSummaryJSON `json:"traces"`
+	}{Total: s.flightRec.Total(), Traces: make([]traceSummaryJSON, 0, len(traces))}
+	for _, rt := range traces {
+		out.Traces = append(out.Traces, traceSummaryJSON{
+			ID:       rt.ID,
+			Start:    rt.Start,
+			Duration: rt.Dur.Seconds(),
+			Error:    rt.Error,
+			Spans:    len(rt.Spans),
+			Stages:   stagesJSON(rt.Stages),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
 }
 
 // SetDraining flips the readiness state. The daemon sets it on SIGTERM so
@@ -488,7 +642,12 @@ type statsJSON struct {
 		HitRate        float64 `json:"hit_rate"`
 	} `json:"symbolic_cache"`
 	ResultCache cacheStats `json:"result_cache"`
-	Server      struct {
+	// Stages is the cumulative per-stage pipeline view across every
+	// traced analysis: span counts, cumulative/self time, and the stage
+	// counters (budget steps, sign proofs, dependence pairs). Empty when
+	// the flight recorder is disabled or nothing has been analyzed.
+	Stages []stageJSON `json:"stages"`
+	Server struct {
 		Requests        int64 `json:"requests"`
 		Analyses        int64 `json:"analyses"`
 		Coalesced       int64 `json:"coalesced"`
@@ -502,6 +661,39 @@ type statsJSON struct {
 		Workers         int   `json:"workers"`
 		Draining        bool  `json:"draining"`
 	} `json:"server"`
+}
+
+// stageJSON is one pipeline stage's cumulative statistics in /v1/stats.
+type stageJSON struct {
+	Stage        string           `json:"stage"`
+	Spans        int64            `json:"spans"`
+	TotalSeconds float64          `json:"total_seconds"`
+	SelfSeconds  float64          `json:"self_seconds"`
+	MaxSeconds   float64          `json:"max_seconds"`
+	Counters     map[string]int64 `json:"counters,omitempty"`
+}
+
+func stagesJSON(aggs []trace.StageAgg) []stageJSON {
+	out := make([]stageJSON, 0, len(aggs))
+	for _, a := range aggs {
+		sj := stageJSON{
+			Stage:        a.Stage,
+			Spans:        a.Count,
+			TotalSeconds: a.Total.Seconds(),
+			SelfSeconds:  a.Self.Seconds(),
+			MaxSeconds:   a.Max.Seconds(),
+		}
+		for c, v := range a.Counters {
+			if v != 0 {
+				if sj.Counters == nil {
+					sj.Counters = map[string]int64{}
+				}
+				sj.Counters[trace.Counter(c).String()] = v
+			}
+		}
+		out = append(out, sj)
+	}
+	return out
 }
 
 // statsUpdate is the body of POST /v1/stats.
@@ -541,6 +733,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st.SymbolicCache.Entries = sc.Entries
 	st.SymbolicCache.HitRate = sc.HitRate()
 	st.ResultCache = s.cache.stats()
+	st.Stages = stagesJSON(s.stages.snapshot())
 	st.Server.Requests = s.met.requests.Load()
 	st.Server.Analyses = s.met.analyses.Load()
 	st.Server.Coalesced = s.met.coalesced.Load()

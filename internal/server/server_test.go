@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/symbolic"
+	"repro/internal/trace"
 )
 
 const testSrc = `
@@ -174,7 +175,7 @@ func gate(s *Server, body []byte) (started chan struct{}, release chan struct{},
 	started = make(chan struct{}, 64)
 	release = make(chan struct{})
 	calls = &atomic.Int64{}
-	s.analyze = func(context.Context, *AnalyzeRequest) ([]byte, error) {
+	s.analyze = func(context.Context, *AnalyzeRequest, *trace.Recorder) ([]byte, error) {
 		calls.Add(1)
 		started <- struct{}{}
 		<-release
@@ -456,7 +457,7 @@ func TestBadRequests(t *testing.T) {
 // to every caller rather than killing the connection or wedging followers.
 func TestAnalyzePanicIs500(t *testing.T) {
 	s := New(Config{})
-	s.analyze = func(context.Context, *AnalyzeRequest) ([]byte, error) { panic("kaboom") }
+	s.analyze = func(context.Context, *AnalyzeRequest, *trace.Recorder) ([]byte, error) { panic("kaboom") }
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 

@@ -1,0 +1,251 @@
+package server
+
+// End-to-end tests for the daemon's observability surface: request IDs,
+// the flight recorder behind /debug/traces, per-stage metrics, and the
+// version-reporting health endpoint.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRequestIDAssignedAndEchoed(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Source: testSrc})
+	id := resp.Header.Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("no X-Request-Id on response")
+	}
+	resp2, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Source: testSrc, Level: "classical"})
+	if id2 := resp2.Header.Get("X-Request-Id"); id2 == "" || id2 == id {
+		t.Fatalf("second request id %q, want fresh non-empty id (first was %q)", id2, id)
+	}
+
+	// A client-supplied id is honored verbatim.
+	body, _ := json.Marshal(AnalyzeRequest{Source: testSrc, Level: "base"})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/analyze", strings.NewReader(string(body)))
+	req.Header.Set("X-Request-Id", "client-abc-123")
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if got := resp3.Header.Get("X-Request-Id"); got != "client-abc-123" {
+		t.Fatalf("client id not echoed: %q", got)
+	}
+}
+
+func TestDebugTracesEndpoint(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Source: testSrc})
+	id := resp.Header.Get("X-Request-Id")
+
+	var listing struct {
+		TotalRecorded int64 `json:"total_recorded"`
+		Traces        []struct {
+			ID     string `json:"id"`
+			Spans  int    `json:"spans"`
+			Stages []struct {
+				Stage string `json:"stage"`
+			} `json:"stages"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(fetch(t, ts.URL+"/debug/traces")), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.TotalRecorded != 1 || len(listing.Traces) != 1 {
+		t.Fatalf("recorded %d traces, listed %d; want 1/1", listing.TotalRecorded, len(listing.Traces))
+	}
+	got := listing.Traces[0]
+	if got.ID != id {
+		t.Fatalf("trace id %q, want request id %q", got.ID, id)
+	}
+	if got.Spans == 0 || len(got.Stages) == 0 {
+		t.Fatalf("trace has %d spans / %d stages", got.Spans, len(got.Stages))
+	}
+
+	// A cache hit must not re-trace.
+	postAnalyze(t, ts.URL, AnalyzeRequest{Source: testSrc})
+	if err := json.Unmarshal([]byte(fetch(t, ts.URL+"/debug/traces")), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.TotalRecorded != 1 {
+		t.Fatalf("cache hit recorded a trace: total %d", listing.TotalRecorded)
+	}
+
+	// Fetch by id: the full span dump, parse span included.
+	var full trace.RequestTrace
+	if err := json.Unmarshal([]byte(fetch(t, ts.URL+"/debug/traces?id="+id)), &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.ID != id || len(full.Spans) == 0 {
+		t.Fatalf("full trace: id %q, %d spans", full.ID, len(full.Spans))
+	}
+	stages := map[string]bool{}
+	for _, sp := range full.Spans {
+		stages[sp.Stage] = true
+	}
+	for _, want := range []string{"parse", "analyze", "phase1", "depend"} {
+		if !stages[want] {
+			t.Errorf("no %q span in dumped trace", want)
+		}
+	}
+
+	// Chrome export of the same trace validates.
+	chrome := fetch(t, ts.URL+"/debug/traces?id="+id+"&format=chrome")
+	if err := trace.ValidateChrome([]byte(chrome)); err != nil {
+		t.Fatalf("chrome export invalid: %v", err)
+	}
+
+	// Unknown id is a 404.
+	resp404, err := http.Get(ts.URL + "/debug/traces?id=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp404.Body.Close()
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: %s", resp404.Status)
+	}
+}
+
+func TestFlightRecorderBounded(t *testing.T) {
+	s := New(Config{FlightRecorderSize: 2})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		// Distinct sources so no request hits the cache.
+		src := strings.Replace(testSrc, "fill", fmt.Sprintf("fill%d", i), 1)
+		resp, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Source: src})
+		ids = append(ids, resp.Header.Get("X-Request-Id"))
+	}
+	var listing struct {
+		TotalRecorded int64 `json:"total_recorded"`
+		Traces        []struct {
+			ID string `json:"id"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(fetch(t, ts.URL+"/debug/traces")), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.TotalRecorded != 3 || len(listing.Traces) != 2 {
+		t.Fatalf("total %d, kept %d; want 3 recorded, 2 kept", listing.TotalRecorded, len(listing.Traces))
+	}
+	// Newest first; the oldest request was evicted.
+	if listing.Traces[0].ID != ids[2] || listing.Traces[1].ID != ids[1] {
+		t.Fatalf("kept %v, want [%s %s]", listing.Traces, ids[2], ids[1])
+	}
+	resp, err := http.Get(ts.URL + "/debug/traces?id=" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted trace: %s, want 404", resp.Status)
+	}
+}
+
+func TestTracingDisabled(t *testing.T) {
+	s := New(Config{FlightRecorderSize: -1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Source: testSrc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze with tracing disabled: %s", resp.Status)
+	}
+	// Requests still get ids even with the recorder off.
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("no request id with tracing disabled")
+	}
+	r404, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r404.Body.Close()
+	if r404.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/traces with recorder disabled: %s, want 404", r404.Status)
+	}
+	// No stage metrics are collected either.
+	if m := fetch(t, ts.URL+"/metrics"); strings.Contains(m, "subsubd_stage_seconds") {
+		t.Error("stage metrics present with tracing disabled")
+	}
+}
+
+func TestStageMetricsAndRuntimeStats(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	postAnalyze(t, ts.URL, AnalyzeRequest{Source: testSrc})
+	m := fetch(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`subsubd_stage_seconds_bucket{stage="phase1",le="+Inf"}`,
+		`subsubd_stage_seconds_sum{stage="depend"}`,
+		`subsubd_stage_seconds_count{stage="parse"}`,
+		"subsubd_traced_requests_total 1",
+		"subsubd_flight_recorder_traces 1",
+		"subsubd_goroutines",
+		"subsubd_heap_alloc_bytes",
+		"subsubd_gc_cycles_total",
+		"subsubd_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// /v1/stats carries the same aggregates as JSON.
+	var stats struct {
+		Stages []struct {
+			Stage        string  `json:"stage"`
+			Spans        int64   `json:"spans"`
+			TotalSeconds float64 `json:"total_seconds"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(fetch(t, ts.URL+"/v1/stats")), &stats); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, st := range stats.Stages {
+		seen[st.Stage] = true
+		if st.Spans <= 0 {
+			t.Errorf("stage %q has %d spans", st.Stage, st.Spans)
+		}
+	}
+	for _, want := range []string{"parse", "analyze", "phase1", "phase2", "depend", "annotate"} {
+		if !seen[want] {
+			t.Errorf("stats missing stage %q (have %v)", want, seen)
+		}
+	}
+}
+
+func TestHealthReportsVersion(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var health struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}
+	if err := json.Unmarshal([]byte(fetch(t, ts.URL+"/healthz")), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Version == "" {
+		t.Fatalf("health = %+v", health)
+	}
+}

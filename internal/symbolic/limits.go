@@ -37,6 +37,16 @@ type Stepper interface {
 	Step(n int64)
 }
 
+// ProofCounter receives sign-query counts from the symbolic layer; it is
+// implemented by ranges.Dict (forwarding to the pipeline trace recorder
+// when one is attached), so traced analyses attribute proof work to
+// their pipeline spans without the symbolic package importing the trace
+// subsystem. Implementations must be allocation-free when tracing is
+// disabled: SignOf invokes this on every query.
+type ProofCounter interface {
+	CountProofs(n int64)
+}
+
 // measure walks e iteratively, counting nodes and tracking depth, and
 // stops early once either cap is exceeded. It never recurses, so it is
 // safe on inputs that would overflow the stack elsewhere.

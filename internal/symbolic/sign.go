@@ -63,6 +63,9 @@ func SignOf(e Expr, ctx Context) Sign {
 	if s, ok := ctx.(Stepper); ok {
 		s.Step(1)
 	}
+	if pc, ok := ctx.(ProofCounter); ok {
+		pc.CountProofs(1)
+	}
 	return signOf(Simplify(e), ctx, maxSignDepth)
 }
 

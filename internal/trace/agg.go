@@ -1,0 +1,98 @@
+package trace
+
+// Per-stage aggregation: collapse a span list into one row per stage
+// with cumulative and self time, span counts, and summed work counters.
+// This is the table appended to the batch report, served by the daemon's
+// /v1/stats, and fed into the per-stage latency histograms on /metrics.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StageAgg is the aggregate of every span of one stage.
+type StageAgg struct {
+	// Stage is the stage name shared by the aggregated spans.
+	Stage string
+	// Count is the number of spans.
+	Count int64
+	// Total is the cumulative time: the sum of the spans' durations
+	// (a child's time is also inside its parent's Total).
+	Total time.Duration
+	// Self is Total minus the time spent in direct child spans, i.e.
+	// the time attributable to the stage itself. Concurrent children
+	// can exceed their parent's wall time; Self is clamped at zero
+	// per span.
+	Self time.Duration
+	// Max is the longest single span.
+	Max time.Duration
+	// Counters sums the per-span work counters.
+	Counters [NumCounters]int64
+}
+
+// Aggregate collapses spans into one row per stage, ordered by Total
+// descending (ties by stage name), which puts the most expensive stage
+// first.
+func Aggregate(spans []Span) []StageAgg {
+	if len(spans) == 0 {
+		return nil
+	}
+	childDur := make(map[SpanID]time.Duration, len(spans))
+	for _, s := range spans {
+		if s.Parent != 0 {
+			childDur[s.Parent] += s.Dur
+		}
+	}
+	byStage := map[string]*StageAgg{}
+	for _, s := range spans {
+		a := byStage[s.Stage]
+		if a == nil {
+			a = &StageAgg{Stage: s.Stage}
+			byStage[s.Stage] = a
+		}
+		a.Count++
+		a.Total += s.Dur
+		self := s.Dur - childDur[s.ID]
+		if self > 0 {
+			a.Self += self
+		}
+		if s.Dur > a.Max {
+			a.Max = s.Dur
+		}
+		for c := range s.Counters {
+			a.Counters[c] += s.Counters[c]
+		}
+	}
+	out := make([]StageAgg, 0, len(byStage))
+	for _, a := range byStage {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// Table renders stage aggregates as an aligned text table (the form
+// appended to the batch report and printed by subsubcc -trace).
+func Table(aggs []StageAgg) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %12s %12s %12s %10s %8s %8s\n",
+		"stage", "spans", "cumulative", "self", "max", "steps", "proofs", "pairs")
+	for _, a := range aggs {
+		fmt.Fprintf(&b, "%-10s %6d %12s %12s %12s %10d %8d %8d\n",
+			a.Stage, a.Count, fmtDur(a.Total), fmtDur(a.Self), fmtDur(a.Max),
+			a.Counters[CounterSteps], a.Counters[CounterProofs], a.Counters[CounterPairs])
+	}
+	return b.String()
+}
+
+// fmtDur renders a duration compactly with microsecond resolution.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}

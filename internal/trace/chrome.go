@@ -1,0 +1,123 @@
+package trace
+
+// Chrome trace-event export: the JSON object format understood by
+// chrome://tracing and Perfetto (https://ui.perfetto.dev). Every span
+// becomes one complete ("X") duration event; the recorder's lane is the
+// event tid, so serial nesting shows as stacked slices and concurrent
+// workers as parallel tracks. Work counters ride in the event args.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ChromeEvent is one trace-event JSON entry.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON-object container format.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit,omitempty"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// ChromeEvents converts spans to trace events. proc names the process
+// (a "process_name" metadata event); pid is arbitrary but stable.
+func ChromeEvents(spans []Span, proc string, pid int) []ChromeEvent {
+	events := make([]ChromeEvent, 0, len(spans)+1)
+	if proc != "" {
+		events = append(events, ChromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": proc},
+		})
+	}
+	for _, s := range spans {
+		name := s.Stage
+		if s.Func != "" {
+			name += " " + s.Func
+		}
+		if s.Loop != "" {
+			name += "/" + s.Loop
+		}
+		args := map[string]any{}
+		if s.Func != "" {
+			args["func"] = s.Func
+		}
+		if s.Loop != "" {
+			args["loop"] = s.Loop
+		}
+		for c := Counter(0); c < NumCounters; c++ {
+			if n := s.Counters[c]; n != 0 {
+				args[c.String()] = n
+			}
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		events = append(events, ChromeEvent{
+			Name: name,
+			Cat:  s.Stage,
+			Ph:   "X",
+			TS:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			PID:  pid,
+			TID:  s.Lane,
+		})
+		events[len(events)-1].Args = args
+	}
+	return events
+}
+
+// MarshalChrome renders spans as a Chrome trace-event JSON document.
+func MarshalChrome(spans []Span, proc string) ([]byte, error) {
+	tr := ChromeTrace{
+		TraceEvents:     ChromeEvents(spans, proc, 1),
+		DisplayTimeUnit: "ms",
+	}
+	return json.MarshalIndent(tr, "", " ")
+}
+
+// ValidateChrome checks that data is a well-formed Chrome trace-event
+// JSON document: the object form, at least one duration event, only
+// known phases, and non-negative timestamps/durations. It is the check
+// behind `make trace-smoke`.
+func ValidateChrome(data []byte) error {
+	var tr ChromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return errors.New("trace: no traceEvents")
+	}
+	durations := 0
+	for i, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "X":
+			durations++
+			if e.Name == "" {
+				return fmt.Errorf("trace: event %d has no name", i)
+			}
+			if e.TS < 0 || e.Dur < 0 {
+				return fmt.Errorf("trace: event %d (%s) has negative ts/dur", i, e.Name)
+			}
+		case "M", "B", "E", "b", "e", "i", "C":
+			// Other standard phases are fine.
+		default:
+			return fmt.Errorf("trace: event %d has unknown phase %q", i, e.Ph)
+		}
+	}
+	if durations == 0 {
+		return errors.New("trace: no duration (ph=X) events")
+	}
+	return nil
+}

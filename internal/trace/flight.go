@@ -1,0 +1,113 @@
+package trace
+
+// Flight recorder: a bounded ring of recent request traces kept in
+// memory by the daemon, dumped through /debug/traces. When the ring is
+// full the oldest trace is evicted, so memory stays bounded no matter
+// how long the daemon runs.
+
+import (
+	"sync"
+	"time"
+)
+
+// RequestTrace is one recorded request: its id, timing, outcome, stage
+// aggregates and full span list.
+type RequestTrace struct {
+	// ID is the request id (the X-Request-Id the daemon echoed).
+	ID string
+	// Start is the wall-clock start of the request.
+	Start time.Time
+	// Dur is the traced activity's duration.
+	Dur time.Duration
+	// Error is the analysis failure, if any ("" on success).
+	Error string
+	// Stages is the per-stage aggregate of Spans.
+	Stages []StageAgg
+	// Spans is the full span list.
+	Spans []Span
+}
+
+// FlightRecorder keeps the last max request traces.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	max   int
+	buf   []RequestTrace // ring; buf[next] is the oldest once full
+	next  int
+	total int64
+}
+
+// NewFlightRecorder returns a flight recorder holding up to max traces
+// (max <= 0 selects 32).
+func NewFlightRecorder(max int) *FlightRecorder {
+	if max <= 0 {
+		max = 32
+	}
+	return &FlightRecorder{max: max}
+}
+
+// Add records a trace, evicting the oldest when full. Nil-safe.
+func (f *FlightRecorder) Add(rt RequestTrace) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if len(f.buf) < f.max {
+		f.buf = append(f.buf, rt)
+	} else {
+		f.buf[f.next] = rt
+		f.next = (f.next + 1) % f.max
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Snapshot returns the held traces, newest first.
+func (f *FlightRecorder) Snapshot() []RequestTrace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]RequestTrace, 0, len(f.buf))
+	for i := len(f.buf) - 1; i >= 0; i-- {
+		out = append(out, f.buf[(f.next+i)%len(f.buf)])
+	}
+	return out
+}
+
+// Get returns the trace with the given request id.
+func (f *FlightRecorder) Get(id string) (RequestTrace, bool) {
+	if f == nil {
+		return RequestTrace{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Newest first, so a reused id resolves to the latest trace.
+	for i := len(f.buf) - 1; i >= 0; i-- {
+		if rt := f.buf[(f.next+i)%len(f.buf)]; rt.ID == id {
+			return rt, true
+		}
+	}
+	return RequestTrace{}, false
+}
+
+// Len reports how many traces are currently held.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.buf)
+}
+
+// Total reports how many traces were ever recorded (including evicted
+// ones).
+func (f *FlightRecorder) Total() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
