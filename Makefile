@@ -13,6 +13,10 @@
 #                  then content-addressed hit), validate the JSON and
 #                  /metrics, and shut down gracefully
 #   make fuzz-smoke — 5s whole-pipeline fuzz (FuzzAnalyze) as a gate step
+#   make property-soundness — the injectivity/permutation fact battery:
+#                  adversarial near-miss suite, scatter dependence tests,
+#                  and the serial-vs-parallel scatter differential, all
+#                  under the race detector
 #   make fault-e2e — fault-injection daemon tests (stall/panic/budget
 #                  failpoints) under the race detector
 #   make fuzz    — short fuzz session over the parser and simplifier
@@ -20,7 +24,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet test race check fuzz fuzz-smoke fault-e2e bench benchsmoke serve-smoke trace-smoke experiments
+.PHONY: build fmt vet test race check fuzz fuzz-smoke fault-e2e bench benchsmoke serve-smoke trace-smoke property-soundness experiments
 
 build:
 	$(GO) build ./...
@@ -67,13 +71,22 @@ trace-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzAnalyze -fuzztime 5s ./internal/core/
 
+# Property-lattice soundness gate: the adversarial injectivity battery
+# (near-misses must stay unclassified), the scatter dependence and
+# regression-pin tests, the lattice unit tests, and the scatter
+# serial-vs-8-worker bit-identity differential — all with -race so the
+# parallelized a[p[i]] writes are also checked for data races.
+property-soundness:
+	$(GO) test -race -run 'TestInjectivity|TestLattice|TestBestSelectors|TestInvalidateAndReplace|TestScatter|TestUAPinned' \
+		./internal/phase2/ ./internal/property/ ./internal/depend/ ./internal/corpus/
+
 # Fault-injection end-to-end: deterministic failpoints (stall, panic,
 # budget exhaustion) driven through the daemon's real HTTP stack, under
 # the race detector.
 fault-e2e:
 	$(GO) test -race -run 'TestFault|TestBudgetExhausted|TestHealthzReadyz|TestReadyz' ./internal/server/
 
-check: fmt vet build test race benchsmoke serve-smoke trace-smoke fuzz-smoke fault-e2e
+check: fmt vet build test race benchsmoke serve-smoke trace-smoke fuzz-smoke property-soundness fault-e2e
 
 fuzz:
 	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime 20s ./internal/cminus/

@@ -18,9 +18,15 @@ func fingerprint(r *Result) string {
 	return r.AnnotatedSource() + "\n----\n" + r.Summary() + "\n----\n" + r.Plan.Props.String()
 }
 
-// corpusSources returns the 12 Table-1 benchmarks as batch inputs.
+// corpusSources returns the 12 Table-1 benchmarks plus the scatter
+// extension as batch inputs, so the byte-identity check also covers the
+// injectivity recognizer and the swap-preservation transform.
 func corpusSources() []Source {
-	return bench.CorpusSources()
+	srcs := bench.CorpusSources()
+	for _, b := range corpus.Scatter() {
+		srcs = append(srcs, Source{Name: b.Name, Src: b.Source})
+	}
+	return srcs
 }
 
 // TestAnalyzeBatchDeterministic analyzes the whole corpus with one worker
@@ -28,7 +34,7 @@ func corpusSources() []Source {
 // byte-identical annotated source, summary and property-DB dumps.
 func TestAnalyzeBatchDeterministic(t *testing.T) {
 	srcs := corpusSources()
-	if len(srcs) != len(corpus.All()) {
+	if len(srcs) != len(corpus.Extended()) {
 		t.Fatalf("corpus sources: got %d, want %d", len(srcs), len(corpus.All()))
 	}
 

@@ -50,9 +50,14 @@ func ParseLevel(name string) (Level, error) {
 
 // PropertyJSON is the wire form of one subscript-array property.
 type PropertyJSON struct {
-	Array        string `json:"array"`
-	Kind         string `json:"kind"`
-	Strict       bool   `json:"strict"`
+	Array  string `json:"array"`
+	Kind   string `json:"kind"`
+	Strict bool   `json:"strict"`
+	// Injective and Permutation surface the derived lattice facts:
+	// injective covers strict monotonicity as well as the dedicated
+	// injective/permutation kinds.
+	Injective    bool   `json:"injective,omitempty"`
+	Permutation  bool   `json:"permutation,omitempty"`
 	Decreasing   bool   `json:"decreasing,omitempty"`
 	Dim          int    `json:"dim,omitempty"`
 	NumDims      int    `json:"num_dims,omitempty"`
@@ -134,6 +139,8 @@ func propertyJSON(p *property.ArrayProperty) PropertyJSON {
 		Array:        p.Array,
 		Kind:         p.Kind.String(),
 		Strict:       p.Strict,
+		Injective:    p.Injective(),
+		Permutation:  p.Permutation(),
 		Decreasing:   p.Decreasing,
 		Dim:          p.Dim,
 		NumDims:      p.NumDims,

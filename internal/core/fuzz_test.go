@@ -57,6 +57,13 @@ func FuzzAnalyze(f *testing.F) {
 		`void f(int n, int *a) { int i, s; s = 0; for (i = 0; i < n; i++) { s += a[i]; } a[0] = s; }`,
 		`void f(int n) { int i; for (i = n; i > 0; i--) { } }`,
 		`void f(int n, int *a) { int i; for (i = 0; i < n; i++) { while (a[i] > 0) { a[i] = a[i] / 2; } } }`,
+		// Permutation/scatter sources steer the fuzzer at the injectivity
+		// recognizer, the swap-preservation transform and the scatter
+		// dependence disproof.
+		`void f(int n, int *p, double *a, double *b) { int i; for (i = 0; i < n; i++) { p[i] = i; } for (i = 0; i < n; i++) { a[p[i]] = a[p[i]] + b[i]; } }`,
+		`void f(int n, int *p) { int i, t; for (i = 0; i < n; i++) { p[i] = i; } for (i = 0; i < n; i++) { t = p[i]; p[i] = p[n-1-i]; p[n-1-i] = t; } }`,
+		`void f(int n, int *p) { int i; for (i = 0; i < n; i++) { p[2*i] = i; p[2*i + 1] = n + i; } }`,
+		`void f(int n, int *p) { int i; for (i = 0; i < n; i++) { p[i] = i / 2; } }`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -106,9 +106,23 @@ func All() []*Benchmark {
 	}
 }
 
+// Scatter returns the scatter-kernel extension benchmarks: a[p[i]]
+// writes through a subscript array proven injective (or a permutation)
+// by the property-lattice extension. They are not part of Table 1 —
+// All() stays the paper's twelve — but ride through the same plan,
+// workload and differential machinery.
+func Scatter() []*Benchmark {
+	return []*Benchmark{ScatterIdentity, ScatterShuffle, ScatterInterleave}
+}
+
+// Extended returns the Table-1 corpus plus the scatter extension.
+func Extended() []*Benchmark {
+	return append(All(), Scatter()...)
+}
+
 // ByName returns the benchmark with the given name, or nil.
 func ByName(name string) *Benchmark {
-	for _, b := range All() {
+	for _, b := range Extended() {
 		if b.Name == name {
 			return b
 		}
@@ -520,6 +534,105 @@ void ic_sweep(int n, int *ia, int *ja, double *val, double *diag) {
             val[p] = val[p] / sqrt(diag[col]);
             diag[col] = diag[col] + val[p]*val[p];
         }
+    }
+}
+`,
+}
+
+// ScatterIdentity: scatter updates through an identity-filled index
+// array. The strict SRA fact of the fill already implies injectivity, so
+// the Base algorithm parallelizes too; at the New level the permutation
+// upgrade is the fact consumed.
+var ScatterIdentity = &Benchmark{
+	Name:        "Scatter-Identity",
+	Suite:       "extension",
+	KernelFunc:  "scatter",
+	Subscripted: true,
+	Description: "scatter a[p[i]] += b[i] through an identity permutation p[i] = i",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: None,
+		phase2.LevelBase:      Outer,
+		phase2.LevelNew:       Outer,
+	},
+	Source: `
+void scatter_fill(int n, int *p) {
+    int i;
+    for (i = 0; i < n; i++) {
+        p[i] = i;
+    }
+}
+void scatter(int n, int *p, double *a, double *b) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[p[i]] = a[p[i]] + b[i];
+    }
+}
+`,
+}
+
+// ScatterShuffle: the identity fill is shuffled by a reversal swap loop
+// before the scatter. The swap destroys monotonicity — Base must
+// invalidate and stay serial — but the New level proves the in-section
+// transpositions preserve the permutation fact.
+var ScatterShuffle = &Benchmark{
+	Name:        "Scatter-Shuffle",
+	Suite:       "extension",
+	KernelFunc:  "scatter",
+	Subscripted: true,
+	Description: "scatter through a permutation shuffled by an in-section swap loop",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: None,
+		phase2.LevelBase:      None,
+		phase2.LevelNew:       Outer,
+	},
+	Source: `
+void scatter_fill(int n, int *p) {
+    int i, t;
+    for (i = 0; i < n; i++) {
+        p[i] = i;
+    }
+    for (i = 0; i < n; i++) {
+        t = p[i];
+        p[i] = p[n-1-i];
+        p[n-1-i] = t;
+    }
+}
+void scatter(int n, int *p, double *a, double *b) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[p[i]] = a[p[i]] + b[i];
+    }
+}
+`,
+}
+
+// ScatterInterleave: two interleaved fill sequences write p[2i] = i and
+// p[2i+1] = n+i. The array is injective (the sequences' value intervals
+// are disjoint and tile [0:2n-1]) but not monotonic, so only the
+// injectivity recognizer at the New level parallelizes the scatter.
+var ScatterInterleave = &Benchmark{
+	Name:        "Scatter-Interleave",
+	Suite:       "extension",
+	KernelFunc:  "scatter",
+	Subscripted: true,
+	Description: "scatter through a non-monotonic interleaved permutation fill",
+	Expected: map[phase2.Level]ParallelismLevel{
+		phase2.LevelClassical: None,
+		phase2.LevelBase:      None,
+		phase2.LevelNew:       Outer,
+	},
+	Source: `
+void scatter_fill(int n, int *p) {
+    int i;
+    for (i = 0; i < n; i++) {
+        p[2*i] = i;
+        p[2*i + 1] = n + i;
+    }
+}
+void scatter(int n2, int *p, double *a, double *b) {
+    int i;
+    for (i = 0; i < n2; i++) {
+        a[p[i]] = a[p[i]] + b[i];
     }
 }
 `,

@@ -91,10 +91,42 @@ func TestSubscriptPropertiesRecorded(t *testing.T) {
 	}
 }
 
+// TestScatterMatrix is the Figure-17-style matrix for the scatter
+// extension benchmarks: which analysis arm proves the a[p[i]] scatter
+// parallel. Identity fill already parallelizes at Base (strict SRA
+// implies injectivity); the shuffled and interleaved permutations need
+// the injectivity recognizer of the New level.
+func TestScatterMatrix(t *testing.T) {
+	if len(Scatter()) != 3 {
+		t.Fatalf("scatter extension has %d benchmarks, want 3", len(Scatter()))
+	}
+	for _, b := range Scatter() {
+		prog, err := cminus.Parse(b.Source)
+		if err != nil {
+			t.Fatalf("%s: parse error: %v", b.Name, err)
+		}
+		if prog.Func(b.KernelFunc) == nil {
+			t.Fatalf("%s: kernel function %q missing", b.Name, b.KernelFunc)
+		}
+		for _, level := range []phase2.Level{phase2.LevelClassical, phase2.LevelBase, phase2.LevelNew} {
+			want := b.Expected[level]
+			plan := PlanFor(b, level)
+			got := Achieved(plan, b.KernelFunc)
+			if got != want {
+				t.Errorf("%s @ %s: achieved %s, want %s\n%s",
+					b.Name, level, got, want, plan.Summary())
+			}
+		}
+		if plan := PlanFor(b, phase2.LevelNew); plan.Props.BestInjective("p") == nil {
+			t.Errorf("%s: no injective fact recorded for p", b.Name)
+		}
+	}
+}
+
 // TestTestdataInSync: the .c files under testdata/ match the embedded
 // corpus sources (they exist so the CLI tools work out of the box).
 func TestTestdataInSync(t *testing.T) {
-	for _, b := range All() {
+	for _, b := range Extended() {
 		name := strings.NewReplacer("(", "_", ")", "", "-", "_").Replace(b.Name)
 		name = strings.ToLower(name)
 		data, err := os.ReadFile("../../testdata/" + name + ".c")

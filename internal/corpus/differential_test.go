@@ -60,7 +60,7 @@ func requireIdentical(t *testing.T, want, got map[string]*interp.Array, label st
 // parallel float results may legitimately differ in low bits — the
 // contract is engine identity, not schedule identity.)
 func TestDifferentialEngines(t *testing.T) {
-	for _, b := range All() {
+	for _, b := range Extended() {
 		t.Run(b.Name, func(t *testing.T) {
 			t.Parallel()
 			for _, workers := range []int{1, 8} {
@@ -76,7 +76,8 @@ func TestDifferentialEngines(t *testing.T) {
 // test passing vacuously: the benchmarks whose plans choose an outer
 // loop must actually run parallel regions on both engines.
 func TestDifferentialParallelExercised(t *testing.T) {
-	for _, name := range []string{"AMGmk", "UA(transf)", "SDDMM", "CG"} {
+	for _, name := range []string{"AMGmk", "UA(transf)", "SDDMM", "CG",
+		"Scatter-Identity", "Scatter-Shuffle", "Scatter-Interleave"} {
 		b := ByName(name)
 		if b == nil {
 			t.Fatalf("no benchmark %q", name)
@@ -90,5 +91,26 @@ func TestDifferentialParallelExercised(t *testing.T) {
 				t.Errorf("%s [%s@8]: no parallel regions executed", name, engine)
 			}
 		}
+	}
+}
+
+// TestScatterSerialVsParallel checks the scatter extension end to end:
+// the a[p[i]] kernels write each cell exactly once (p is a permutation),
+// so unlike reductions the parallel schedule cannot perturb float
+// results — serial and 8-worker runs must be bit-identical. Run under
+// -race this also proves the chosen outer loops carry no data races.
+func TestScatterSerialVsParallel(t *testing.T) {
+	for _, b := range Scatter() {
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, engine := range []string{"tree", "compiled"} {
+				ref, _ := runEngine(t, b, engine, 1)
+				got, m := runEngine(t, b, engine, 8)
+				requireIdentical(t, ref, got, b.Name+"/"+engine)
+				if m.Stats.ParallelRegions == 0 {
+					t.Errorf("%s [%s@8]: no parallel regions executed", b.Name, engine)
+				}
+			}
+		})
 	}
 }

@@ -285,6 +285,26 @@ func NewWork(b *Benchmark, scale Scale) *Work {
 			{Fn: "ic_sweep", Args: []interp.Arg{n, ia, ja, val, diag}},
 		}
 
+	case "Scatter-Identity", "Scatter-Shuffle":
+		n := pick(400, 20000)
+		p := ints("p", int64(n))
+		a := randFlts("a", int64(n))
+		bArr := randFlts("b", int64(n))
+		w.Calls = []Call{
+			{Fn: "scatter_fill", Args: []interp.Arg{n, p}},
+			{Fn: "scatter", Args: []interp.Arg{n, p, a, bArr}},
+		}
+
+	case "Scatter-Interleave":
+		n := pick(200, 10000)
+		p := ints("p", int64(2*n))
+		a := randFlts("a", int64(2*n))
+		bArr := randFlts("b", int64(2*n))
+		w.Calls = []Call{
+			{Fn: "scatter_fill", Args: []interp.Arg{n, p}},
+			{Fn: "scatter", Args: []interp.Arg{2 * n, p, a, bArr}},
+		}
+
 	default:
 		panic(fmt.Sprintf("corpus: no workload for benchmark %q", b.Name))
 	}

@@ -437,3 +437,215 @@ void f(int n, double *a) {
 		t.Fatal("same-parity shift must block")
 	}
 }
+
+const scatterIdentitySrc = `
+void fill(int n, int *p) {
+    int i;
+    for (i = 0; i < n; i++) {
+        p[i] = i;
+    }
+}
+void kernel(int n, int *p, double *a, double *b) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[p[i]] = a[p[i]] + b[i];
+    }
+}
+`
+
+// TestScatterIdentityKernel: a[p[i]] scatter writes through an
+// identity-filled p. The strict SRA fact already implies injectivity, so
+// the Base level parallelizes; at the New level the permutation upgrade
+// is the strongest fact in the lattice and is the one consumed.
+func TestScatterIdentityKernel(t *testing.T) {
+	d := analyzeLoop(t, scatterIdentitySrc, "fill", "kernel", 1, phase2.LevelClassical)
+	if d.Parallel {
+		t.Fatal("classical must not parallelize the scatter")
+	}
+	d = analyzeLoop(t, scatterIdentitySrc, "fill", "kernel", 1, phase2.LevelBase)
+	if !d.Parallel {
+		t.Fatalf("base should parallelize via the strict SRA fact: %s", d.Reason)
+	}
+	d = analyzeLoop(t, scatterIdentitySrc, "fill", "kernel", 1, phase2.LevelNew)
+	if !d.Parallel {
+		t.Fatalf("new should parallelize: %s", d.Reason)
+	}
+	if len(d.UsedProperties) == 0 || !strings.Contains(d.UsedProperties[0], "#PERM") {
+		t.Errorf("new level should consume the permutation fact: %v", d.UsedProperties)
+	}
+}
+
+const scatterShuffleSrc = `
+void fill(int n, int *p) {
+    int i, t;
+    for (i = 0; i < n; i++) {
+        p[i] = i;
+    }
+    for (i = 0; i < n; i++) {
+        t = p[i];
+        p[i] = p[n-1-i];
+        p[n-1-i] = t;
+    }
+}
+void kernel(int n, int *p, double *a, double *b) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[p[i]] = a[p[i]] + b[i];
+    }
+}
+`
+
+// TestScatterShuffleKernel: the reversal swap loop destroys the
+// monotonicity fact, so Base (which must conservatively invalidate)
+// stays serial; the New level recognizes the in-section transposition
+// loop, keeps the permutation fact, and parallelizes the scatter.
+func TestScatterShuffleKernel(t *testing.T) {
+	d := analyzeLoop(t, scatterShuffleSrc, "fill", "kernel", 1, phase2.LevelClassical)
+	if d.Parallel {
+		t.Fatal("classical must not parallelize the shuffled scatter")
+	}
+	d = analyzeLoop(t, scatterShuffleSrc, "fill", "kernel", 1, phase2.LevelBase)
+	if d.Parallel {
+		t.Fatal("base must invalidate the fact across the swap loop")
+	}
+	d = analyzeLoop(t, scatterShuffleSrc, "fill", "kernel", 1, phase2.LevelNew)
+	if !d.Parallel {
+		t.Fatalf("new should parallelize via the preserved permutation fact: %s", d.Reason)
+	}
+	if len(d.UsedProperties) == 0 || !strings.Contains(d.UsedProperties[0], "#PERM") {
+		t.Errorf("should consume the permutation fact: %v", d.UsedProperties)
+	}
+}
+
+const scatterInterleaveSrc = `
+void fill(int n, int *p) {
+    int i;
+    for (i = 0; i < n; i++) {
+        p[2*i] = i;
+        p[2*i + 1] = n + i;
+    }
+}
+void kernel(int n2, int *p, double *a, double *b) {
+    int i;
+    for (i = 0; i < n2; i++) {
+        a[p[i]] = a[p[i]] + b[i];
+    }
+}
+`
+
+// TestScatterInterleaveKernel: the two-sequence interleaved fill is not
+// monotonic (values jump between [0:n-1] and [n:2n-1]), so only the
+// injectivity recognizer at the New level can prove the scatter safe.
+func TestScatterInterleaveKernel(t *testing.T) {
+	for _, level := range []phase2.Level{phase2.LevelClassical, phase2.LevelBase} {
+		d := analyzeLoop(t, scatterInterleaveSrc, "fill", "kernel", 1, level)
+		if d.Parallel {
+			t.Fatalf("%s must not parallelize the interleaved scatter", level)
+		}
+	}
+	d := analyzeLoop(t, scatterInterleaveSrc, "fill", "kernel", 1, phase2.LevelNew)
+	if !d.Parallel {
+		t.Fatalf("new should parallelize via the injectivity fact: %s", d.Reason)
+	}
+	if len(d.UsedProperties) == 0 || !strings.Contains(d.UsedProperties[0], "#PERM") {
+		t.Errorf("interleave tiles [0:2n-1] exactly, expected the permutation fact: %v", d.UsedProperties)
+	}
+}
+
+// TestScatterNearMissesStaySerial: adversarial variants of the scatter
+// pattern must stay serial at every level — each breaks one recognizer
+// obligation.
+func TestScatterNearMissesStaySerial(t *testing.T) {
+	kern := `
+void kernel(int n, int *p, double *a, double *b) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[p[i]] = a[p[i]] + b[i];
+    }
+}
+`
+	cases := []struct {
+		name string
+		fill string
+	}{
+		{"duplicate-values-div", `
+void fill(int n, int *p) {
+    int i;
+    for (i = 0; i < n; i++) {
+        p[i] = i / 2;
+    }
+}
+`},
+		{"write-after-fill", `
+void fill(int n, int *p) {
+    int i;
+    for (i = 0; i < n; i++) {
+        p[i] = i;
+    }
+    p[0] = 3;
+}
+`},
+		{"out-of-section-swap", `
+void fill(int n, int *p) {
+    int i, t;
+    for (i = 0; i < n; i++) {
+        p[i] = i;
+    }
+    for (i = 0; i < n; i++) {
+        t = p[i];
+        p[i] = p[i + n];
+        p[i + n] = t;
+    }
+}
+`},
+		{"cross-array-swap", `
+void fill(int n, int *p, int *q) {
+    int i, t;
+    for (i = 0; i < n; i++) {
+        p[i] = i;
+    }
+    for (i = 0; i < n; i++) {
+        t = p[i];
+        p[i] = q[i];
+        q[i] = t;
+    }
+}
+`},
+	}
+	for _, tc := range cases {
+		for _, level := range []phase2.Level{phase2.LevelBase, phase2.LevelNew} {
+			d := analyzeLoop(t, tc.fill+kern, "fill", "kernel", 1, level)
+			if d.Parallel {
+				t.Errorf("%s at %s: near-miss scatter must stay serial (used %v)",
+					tc.name, level, d.UsedProperties)
+			}
+		}
+	}
+}
+
+// TestUAPinnedClassification pins the UA gather/scatter decision against
+// accidental flips by the injectivity lattice: idel is 4-dimensional, so
+// the 1-D injectivity recognizer must not claim it, and the decision
+// must keep consuming the multi-dimensional SMA fact (as asserted in
+// TestUAKernel), not an INJ/PERM fact.
+func TestUAPinnedClassification(t *testing.T) {
+	prog := cminus.MustParse(uaSrc)
+	fa := phase2.AnalyzeFunc(prog.Func("fill"), phase2.LevelNew, nil)
+	for _, p := range fa.Props.Lookup("idel") {
+		if p.Kind == property.KindInjective || p.Kind == property.KindPermutation {
+			t.Fatalf("idel must not get a 1-D injectivity fact: %s", p)
+		}
+	}
+	if p := fa.Props.BestMonotone("idel"); p == nil || p.Kind != property.KindMultiDim || !p.Strict {
+		t.Fatalf("idel must keep its multi-dim SMA fact: %v", fa.Props.String())
+	}
+	d := analyzeLoop(t, uaSrc, "fill", "kernel", 1, phase2.LevelNew)
+	if !d.Parallel {
+		t.Fatalf("UA must still parallelize: %s", d.Reason)
+	}
+	for _, u := range d.UsedProperties {
+		if strings.Contains(u, "#INJ") || strings.Contains(u, "#PERM") {
+			t.Errorf("UA decision must rest on the SMA fact, got %v", d.UsedProperties)
+		}
+	}
+}

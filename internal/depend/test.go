@@ -365,8 +365,11 @@ func (t *Tester) injectiveSubscript(s1, s2 symbolic.Expr, v string, info *LoopAc
 	if !ok || coef == 0 {
 		return false
 	}
-	p := t.Props.Best(ar1.Name)
-	if p == nil || !p.Injective() || p.NumDims != 1 {
+	// BestInjective accepts any fact that implies injectivity of the
+	// section: strict monotone fills, direct injectivity facts, and
+	// permutation facts (which survive value shuffles).
+	p := t.Props.BestInjective(ar1.Name)
+	if p == nil || p.NumDims != 1 {
 		return false
 	}
 	t.emitSectionCheck(p, g, v, info, d)
@@ -434,7 +437,10 @@ func (t *Tester) disjointWindows(s1, s2 symbolic.Expr, v string, info *LoopAcces
 	if !symbolic.Equal(rng[1], wantHi) {
 		return false
 	}
-	p := t.Props.Best(ar.Name)
+	// Window disjointness reasons about ordered sections, so only a
+	// monotone fact qualifies — an injectivity-only fact says nothing
+	// about the order of idx[f] and idx[f+1].
+	p := t.Props.BestMonotone(ar.Name)
 	if p == nil || p.NumDims != 1 || p.Decreasing {
 		return false
 	}
@@ -475,7 +481,9 @@ func (t *Tester) multiDimDisjoint(s1, s2 symbolic.Expr, v string, info *LoopAcce
 	if !ok1 || !ok2 || ar1.Name != ar2.Name || !symbolic.Equal(off1, off2) {
 		return false
 	}
-	p := t.Props.Best(ar1.Name)
+	// Multi-dimensional stride reasoning needs the ordered-range claim,
+	// not just distinctness.
+	p := t.Props.BestMonotone(ar1.Name)
 	if p == nil || p.NumDims < 2 || !p.Strict {
 		return false
 	}

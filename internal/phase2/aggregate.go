@@ -22,6 +22,10 @@ type Opts struct {
 	// DisableSeamExtension turns off the pre-loop-write monotone-prefix
 	// extension (the SDDMM col_ptr[0] = 0 case).
 	DisableSeamExtension bool
+	// DisableInjectivity turns off the injectivity/permutation recognizer
+	// and the swap-loop fact preservation (the property-lattice extension
+	// beyond monotonicity).
+	DisableInjectivity bool
 }
 
 // aggregator carries the state of one Phase-2 run (Algorithm 1) over a
@@ -116,6 +120,17 @@ func AggregateOpts(level Level, opts Opts, meta *normalize.LoopMeta, p1 *phase1.
 			if v, ok := ag.isMonoArray(a, ag.svd.Arrays[a]); ok {
 				verdicts[a] = v
 				out.Props = append(out.Props, ag.buildProperty(a, v, meta.Label))
+			}
+		}
+	}
+	// Pass 2b: injectivity/permutation facts (property-lattice extension;
+	// strict monotone facts already imply injectivity, so the recognizer
+	// only adds facts the monotone pass cannot express).
+	if level >= LevelNew && !opts.DisableInjectivity {
+		for _, a := range arrayNames {
+			mv, hasMono := verdicts[a]
+			if v, ok := ag.isInjectiveArray(a, ag.svd.Arrays[a], mv, hasMono); ok {
+				out.Props = append(out.Props, ag.buildInjectProperty(a, v, meta.Label))
 			}
 		}
 	}

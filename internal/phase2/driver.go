@@ -1,6 +1,8 @@
 package phase2
 
 import (
+	"sort"
+
 	"repro/internal/cminus"
 	"repro/internal/faults"
 	"repro/internal/normalize"
@@ -102,14 +104,20 @@ func (w *walker) walkStmt(s cminus.Stmt) {
 			}
 			return
 		}
-		if name, idx, ok := cminus.ArrayBase(x.LHS); ok && len(idx) == 1 {
-			if lit, isLit := idx[0].(*cminus.IntLit); isLit {
-				val := w.convertOuter(x.RHS)
-				if !symbolic.IsBottom(val) {
-					if w.arrayPre[name] == nil {
-						w.arrayPre[name] = map[int64]symbolic.Expr{}
+		if name, idx, ok := cminus.ArrayBase(x.LHS); ok {
+			// A straight-line write to the array may break any recorded
+			// fact (a stale fact would let the dependence test justify an
+			// invalid parallelization).
+			w.fa.Props.Invalidate(name)
+			if len(idx) == 1 {
+				if lit, isLit := idx[0].(*cminus.IntLit); isLit {
+					val := w.convertOuter(x.RHS)
+					if !symbolic.IsBottom(val) {
+						if w.arrayPre[name] == nil {
+							w.arrayPre[name] = map[int64]symbolic.Expr{}
+						}
+						w.arrayPre[name][lit.Val] = val
 					}
-					w.arrayPre[name][lit.Val] = val
 				}
 			}
 		}
@@ -117,23 +125,32 @@ func (w *walker) walkStmt(s cminus.Stmt) {
 		collapsed := w.analyzeLoop(x)
 		w.afterLoop(x, collapsed)
 	case *cminus.WhileStmt:
-		scalars, _ := phase1.AssignedVars(x.Body, nil)
+		scalars, arrays := phase1.AssignedVars(x.Body, nil)
 		for _, v := range scalars {
 			delete(w.outerVals, v)
 			w.dict.Forget(v)
 		}
+		for _, a := range arrays {
+			w.fa.Props.Invalidate(a)
+			delete(w.arrayPre, a)
+		}
 	case *cminus.Block:
 		w.walkBlock(x)
 	case *cminus.IfStmt:
-		// Conservative: values assigned under the if become unknown.
+		// Conservative: values assigned under the if become unknown, and
+		// conditionally-written arrays lose their facts.
 		kill := func(b *cminus.Block) {
 			if b == nil {
 				return
 			}
-			scalars, _ := phase1.AssignedVars(b, nil)
+			scalars, arrays := phase1.AssignedVars(b, nil)
 			for _, v := range scalars {
 				delete(w.outerVals, v)
 				w.dict.Forget(v)
+			}
+			for _, a := range arrays {
+				w.fa.Props.Invalidate(a)
+				delete(w.arrayPre, a)
 			}
 		}
 		kill(x.Then)
@@ -144,15 +161,61 @@ func (w *walker) walkStmt(s cminus.Stmt) {
 }
 
 // afterLoop records the loop's properties (with Λ substitution and seam
-// extension) and updates the straight-line value map from the collapse.
+// extension), reconciles earlier facts with the loop's array writes, and
+// updates the straight-line value map from the collapse.
 func (w *walker) afterLoop(loop *cminus.ForStmt, collapsed *phase1.CollapsedLoop) {
 	agg := w.fa.Loops[loop.Label]
+
+	// Finalize the facts this loop establishes (added below, after the
+	// overwritten arrays' stale facts are dropped).
+	var newProps []*property.ArrayProperty
+	fresh := map[string]bool{}
 	if agg != nil {
 		sub := w.entrySubst()
 		for _, p := range agg.Props {
-			w.fa.Props.Add(w.finalizeProperty(p, sub))
+			fp := w.finalizeProperty(p, sub)
+			newProps = append(newProps, fp)
+			fresh[fp.Array] = true
 		}
 	}
+
+	// Every array the loop writes either gets fresh facts, is a
+	// recognized fact-preserving swap loop, or loses its facts — keeping
+	// a stale fact past an overwrite would be unsound.
+	written := map[string]bool{}
+	if collapsed != nil {
+		for a := range collapsed.Arrays {
+			written[a] = true
+		}
+	}
+	if collapsed == nil || collapsed.Failed {
+		_, arrays := phase1.AssignedVars(loop.Body, nil)
+		for _, a := range arrays {
+			written[a] = true
+		}
+	}
+	writtenNames := make([]string, 0, len(written))
+	for a := range written {
+		writtenNames = append(writtenNames, a)
+	}
+	sort.Strings(writtenNames)
+	for _, arr := range writtenNames {
+		if len(w.fa.Props.Lookup(arr)) == 0 || fresh[arr] {
+			if fresh[arr] {
+				w.fa.Props.Invalidate(arr)
+			}
+			continue
+		}
+		if kept, ok := w.swapPreservedFacts(loop, arr); ok {
+			w.fa.Props.Replace(arr, kept)
+			continue
+		}
+		w.fa.Props.Invalidate(arr)
+	}
+	for _, p := range newProps {
+		w.fa.Props.Add(p)
+	}
+
 	if collapsed == nil || collapsed.Failed {
 		if collapsed != nil {
 			for _, v := range collapsed.Assigned {
@@ -230,6 +293,78 @@ func (w *walker) finalizeProperty(p *property.ArrayProperty, sub symbolic.Subst)
 	}
 	out.DefFunc = w.fa.Func.Name
 	return &out
+}
+
+// swapPreservedFacts decides whether loop is a recognized transposition
+// (swap) loop over arr whose indices provably stay inside the sections
+// of arr's recorded facts. A swap permutes the section's values, so
+// injectivity and permutation facts survive (monotone facts demote to
+// plain injectivity: the order is destroyed but distinctness is not).
+// Returns the transformed fact list.
+func (w *walker) swapPreservedFacts(loop *cminus.ForStmt, arr string) ([]*property.ArrayProperty, bool) {
+	if w.level < LevelNew || w.opts.DisableInjectivity {
+		return nil, false
+	}
+	meta := w.fa.Norm.Loops[loop.Label]
+	if meta == nil || !meta.Eligible || loop.Body == nil {
+		return nil, false
+	}
+	swapArr, e1, e2, ok := recognizeSwapLoop(loop.Body, meta.Var)
+	if !ok || swapArr != arr {
+		return nil, false
+	}
+	n := w.convertOuter(meta.Count)
+	if symbolic.IsBottom(n) {
+		return nil, false
+	}
+	// Bound each index expression over the loop's iteration space,
+	// substituting known straight-line values for outer scalars.
+	ivRange := symbolic.NewRange(symbolic.Zero, symbolic.SubExpr(n, symbolic.One))
+	bound := func(e cminus.Expr) (lo, hi symbolic.Expr, ok bool) {
+		se := convertCount(e)
+		if symbolic.IsBottom(se) {
+			return nil, nil, false
+		}
+		sub := symbolic.Subst{symbolic.SymKey(meta.Var): ivRange}
+		for name, val := range w.outerVals {
+			if name != meta.Var {
+				sub[name] = val
+			}
+		}
+		se = symbolic.Simplify(symbolic.Substitute(se, sub))
+		if symbolic.IsBottom(se) {
+			return nil, nil, false
+		}
+		lo, hi = symbolic.Bounds(se)
+		return lo, hi, true
+	}
+	lo1, hi1, ok1 := bound(e1)
+	lo2, hi2, ok2 := bound(e2)
+	if !ok1 || !ok2 {
+		return nil, false
+	}
+	var kept []*property.ArrayProperty
+	for _, p := range w.fa.Props.Lookup(arr) {
+		if !p.Injective() || p.NumDims != 1 || p.IndexLo == nil || p.IndexHi == nil {
+			continue
+		}
+		if !symbolic.ProveGE(lo1, p.IndexLo, w.dict) || !symbolic.ProveLE(hi1, p.IndexHi, w.dict) ||
+			!symbolic.ProveGE(lo2, p.IndexLo, w.dict) || !symbolic.ProveLE(hi2, p.IndexHi, w.dict) {
+			continue
+		}
+		q := *p
+		q.Strict = false
+		q.Decreasing = false
+		if q.Kind != property.KindPermutation {
+			q.Kind = property.KindInjective
+		}
+		q.DefLoop = loop.Label
+		kept = append(kept, &q)
+	}
+	if len(kept) == 0 {
+		return nil, false
+	}
+	return kept, true
 }
 
 // analyzeLoop runs both phases on a loop nest, inside out, and returns the

@@ -1,9 +1,19 @@
-// Package property records the subscript-array properties determined by
-// the Phase-2 aggregation: (strict) monotonicity of one-dimensional arrays
-// — regular or intermittent — and (range-)monotonicity of
-// multi-dimensional arrays (Definitions 1 and 2 of the paper). The
-// extended data-dependence test consumes these facts to disprove
-// cross-iteration dependences in loops that use the subscript arrays.
+// Package property records the subscript-array facts determined by the
+// Phase-2 aggregation, organized as a small lattice:
+//
+//	Permutation ⇒ Injective      (a bijection of its section is injective)
+//	SMA (strict) ⇒ Injective     (strictly monotonic values never repeat)
+//	SMA ⇒ MA, Permutation ⇒ range-bounded values
+//
+// The monotonicity kinds (SRA, intermittent — Definition 1/LEMMA 1 — and
+// multi-dimensional — Definition 2/LEMMA 2) come straight from the paper.
+// KindInjective and KindPermutation extend the lattice beyond
+// monotonicity: they certify that a subscript array never maps two
+// section indices to the same element even when its values are not
+// ordered (shuffled permutations, interleaved fills). The extended
+// data-dependence test consumes monotone facts to disprove dependences in
+// window/stride patterns and injectivity facts to disprove output and
+// anti dependences in a[p[i]] scatter writes.
 package property
 
 import (
@@ -25,6 +35,17 @@ const (
 	KindIntermittent
 	// KindMultiDim is a monotonic multi-dimensional array (LEMMA 2).
 	KindMultiDim
+	// KindInjective is an injectivity fact without a monotonicity claim:
+	// the array maps distinct indices of its section to distinct
+	// elements (established directly by the Phase-2 injectivity
+	// recognizer, e.g. for interleaved fills or after value shuffles).
+	KindInjective
+	// KindPermutation strengthens KindInjective: the section's values
+	// are exactly the integers of ValueRange with no gaps, i.e. the
+	// section is a permutation array. It additionally bounds the range,
+	// so p[i] != p[j] holds even for non-monotonic shuffles and the
+	// written-through region is exactly the value interval.
+	KindPermutation
 )
 
 func (k Kind) String() string {
@@ -35,8 +56,23 @@ func (k Kind) String() string {
 		return "intermittent"
 	case KindMultiDim:
 		return "multi-dim"
+	case KindInjective:
+		return "injective"
+	case KindPermutation:
+		return "permutation"
 	}
 	return "?"
+}
+
+// Monotone reports whether the kind carries a monotonicity claim
+// (consumers that reason about ordered sections — window disjointness,
+// multi-dimensional strides — must only accept monotone kinds).
+func (k Kind) Monotone() bool {
+	switch k {
+	case KindSRA, KindIntermittent, KindMultiDim:
+		return true
+	}
+	return false
 }
 
 // ArrayProperty is one monotonicity fact about a subscript array.
@@ -74,11 +110,18 @@ type ArrayProperty struct {
 }
 
 // String renders the property in the paper's aggregate notation, e.g.
-// A_rownnz[0:irownnz_max] = [0:num_rows-1]#SMA.
+// A_rownnz[0:irownnz_max] = [0:num_rows-1]#SMA, extended with #INJ and
+// #PERM tags for the non-monotonic lattice levels.
 func (p *ArrayProperty) String() string {
 	tag := "MA"
 	if p.Strict {
 		tag = "SMA"
+	}
+	switch p.Kind {
+	case KindInjective:
+		tag = "INJ"
+	case KindPermutation:
+		tag = "PERM"
 	}
 	if p.Decreasing {
 		tag += ",dec"
@@ -104,9 +147,36 @@ func (p *ArrayProperty) String() string {
 	return fmt.Sprintf("%s[%s:%s]%s = %s#%s", p.Array, lo, hi, dims, val, tag)
 }
 
-// Injective reports whether the property implies injectivity of the array
-// over the monotonic section (strict monotonicity does).
-func (p *ArrayProperty) Injective() bool { return p.Strict }
+// Injective reports whether the property implies injectivity of the
+// array over its section: direct injectivity/permutation facts do, and
+// so does strict monotonicity (values that strictly grow or shrink never
+// repeat).
+func (p *ArrayProperty) Injective() bool {
+	return p.Strict || p.Kind == KindInjective || p.Kind == KindPermutation
+}
+
+// Permutation reports whether the property certifies the section as a
+// permutation array (injective AND onto its value interval).
+func (p *ArrayProperty) Permutation() bool { return p.Kind == KindPermutation }
+
+// Monotone reports whether the property carries a monotonicity claim.
+func (p *ArrayProperty) Monotone() bool { return p.Kind.Monotone() }
+
+// Rank orders facts by strength within the lattice: permutation facts
+// dominate (injective + bounded range), then strictly monotonic ones
+// (injective + ordered), then plain injectivity, then non-strict
+// monotonicity. Used by the Best* selectors.
+func (p *ArrayProperty) Rank() int {
+	switch {
+	case p.Kind == KindPermutation:
+		return 4
+	case p.Strict:
+		return 3
+	case p.Kind == KindInjective:
+		return 2
+	}
+	return 1
+}
 
 // DB collects the properties discovered for a program.
 type DB struct {
@@ -122,8 +192,26 @@ func (db *DB) Add(p *ArrayProperty) { db.byArray[p.Array] = append(db.byArray[p.
 // Lookup returns the properties known for an array.
 func (db *DB) Lookup(array string) []*ArrayProperty { return db.byArray[array] }
 
-// Best returns the strongest property known for an array (strict before
-// non-strict), or nil.
+// Invalidate drops every fact recorded for an array. The Phase-2 walker
+// calls this when straight-line code or a later loop overwrites the
+// array in a way that does not provably preserve its facts — keeping a
+// stale fact past an overwrite would let the dependence test justify an
+// invalid parallelization.
+func (db *DB) Invalidate(array string) { delete(db.byArray, array) }
+
+// Replace substitutes the facts of an array with a new list (used by the
+// walker when a later loop transforms the facts, e.g. a swap loop that
+// preserves injectivity but destroys monotonicity).
+func (db *DB) Replace(array string, props []*ArrayProperty) {
+	if len(props) == 0 {
+		db.Invalidate(array)
+		return
+	}
+	db.byArray[array] = props
+}
+
+// Best returns the strongest property known for an array in lattice
+// order (Rank), or nil.
 func (db *DB) Best(array string) *ArrayProperty {
 	props := db.byArray[array]
 	if len(props) == 0 {
@@ -131,7 +219,40 @@ func (db *DB) Best(array string) *ArrayProperty {
 	}
 	best := props[0]
 	for _, p := range props[1:] {
-		if p.Strict && !best.Strict {
+		if p.Rank() > best.Rank() {
+			best = p
+		}
+	}
+	return best
+}
+
+// BestInjective returns the strongest property that implies injectivity
+// of the array's section, or nil. Consumers disproving output/anti
+// dependences of a[p[i]] scatter writes must use this selector.
+func (db *DB) BestInjective(array string) *ArrayProperty {
+	var best *ArrayProperty
+	for _, p := range db.byArray[array] {
+		if !p.Injective() {
+			continue
+		}
+		if best == nil || p.Rank() > best.Rank() {
+			best = p
+		}
+	}
+	return best
+}
+
+// BestMonotone returns the strongest property that carries a
+// monotonicity claim, or nil. Consumers that reason about ordered
+// sections (window disjointness, multi-dimensional strides) must use
+// this selector: an injectivity-only fact says nothing about order.
+func (db *DB) BestMonotone(array string) *ArrayProperty {
+	var best *ArrayProperty
+	for _, p := range db.byArray[array] {
+		if !p.Monotone() {
+			continue
+		}
+		if best == nil || p.Rank() > best.Rank() {
 			best = p
 		}
 	}

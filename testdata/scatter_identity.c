@@ -1,0 +1,15 @@
+// Scatter-Identity — scatter a[p[i]] += b[i] through an identity permutation p[i] = i (property-lattice extension).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/scatter_identity.c
+
+void scatter_fill(int n, int *p) {
+    int i;
+    for (i = 0; i < n; i++) {
+        p[i] = i;
+    }
+}
+void scatter(int n, int *p, double *a, double *b) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[p[i]] = a[p[i]] + b[i];
+    }
+}

@@ -1,0 +1,16 @@
+// Scatter-Interleave — scatter through a non-monotonic interleaved permutation fill (property-lattice extension).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/scatter_interleave.c
+
+void scatter_fill(int n, int *p) {
+    int i;
+    for (i = 0; i < n; i++) {
+        p[2*i] = i;
+        p[2*i + 1] = n + i;
+    }
+}
+void scatter(int n2, int *p, double *a, double *b) {
+    int i;
+    for (i = 0; i < n2; i++) {
+        a[p[i]] = a[p[i]] + b[i];
+    }
+}

@@ -1,0 +1,20 @@
+// Scatter-Shuffle — scatter through a permutation shuffled by an in-section swap loop (property-lattice extension).
+// Analyze with: go run ./cmd/subsubcc -level new -annotate testdata/scatter_shuffle.c
+
+void scatter_fill(int n, int *p) {
+    int i, t;
+    for (i = 0; i < n; i++) {
+        p[i] = i;
+    }
+    for (i = 0; i < n; i++) {
+        t = p[i];
+        p[i] = p[n-1-i];
+        p[n-1-i] = t;
+    }
+}
+void scatter(int n, int *p, double *a, double *b) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[p[i]] = a[p[i]] + b[i];
+    }
+}
