@@ -13,6 +13,8 @@
 #                  then content-addressed hit), validate the JSON and
 #                  /metrics, and shut down gracefully
 #   make fuzz-smoke — 5s whole-pipeline fuzz (FuzzAnalyze) as a gate step
+#   make vm-differential — three-engine corpus bit-identity (tree vs
+#                  compiled vs bytecode VM) under the race detector
 #   make property-soundness — the injectivity/permutation fact battery:
 #                  adversarial near-miss suite, scatter dependence tests,
 #                  and the serial-vs-parallel scatter differential, all
@@ -44,8 +46,18 @@ race:
 
 # One iteration per benchmark: catches compile-pass and harness
 # regressions in the gate without waiting for stable numbers.
+# BenchmarkInterp covers all three engines (tree, compiled, vm), so the
+# bytecode VM is exercised end to end here too.
 benchsmoke:
 	$(GO) test -run NONE -bench 'BenchmarkInterp' -benchtime=1x ./internal/corpus/
+
+# Three-engine corpus bit-identity: the tree oracle, the closure engine
+# and the bytecode VM must produce byte-identical outputs over the
+# Table-1 corpus plus the scatter extension, serial and multi-worker,
+# under the race detector; the VM fuzz seed corpus must replay clean.
+vm-differential:
+	$(GO) test -race -run 'TestDifferential|TestScatterSerialVsParallel|TestVM' \
+		./internal/corpus/ ./internal/interp/
 
 # End-to-end daemon smoke: binds an ephemeral loopback port, replays the
 # example request twice (expecting a fresh analysis, then a byte-identical
@@ -86,7 +98,7 @@ property-soundness:
 fault-e2e:
 	$(GO) test -race -run 'TestFault|TestBudgetExhausted|TestHealthzReadyz|TestReadyz' ./internal/server/
 
-check: fmt vet build test race benchsmoke serve-smoke trace-smoke fuzz-smoke property-soundness fault-e2e
+check: fmt vet build test race benchsmoke vm-differential serve-smoke trace-smoke fuzz-smoke property-soundness fault-e2e
 
 fuzz:
 	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime 20s ./internal/cminus/

@@ -28,19 +28,65 @@
 // nested per function and per source, with worker lanes for parallel
 // runs. A per-stage aggregate table (cumulative/self time, budget steps,
 // sign proofs, dependence pairs) is printed to stderr alongside.
+//
+// -engine runs an interpreter smoke on each successfully analyzed file:
+// the source is compiled for the named engine (compiled, vm or tree)
+// and its zero-argument functions are executed under a step budget and
+// deadline, so engine typos and code-generation faults fail the file
+// like any analysis error. Engine precedence mirrors the interpreter:
+// an explicit name selects that engine, the empty string (the default)
+// skips the smoke entirely, and inside the interpreter an empty
+// Machine.Interp aliases "compiled".
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"slices"
 	"strings"
+	"time"
 
+	"repro/internal/budget"
+	"repro/internal/cminus"
 	"repro/internal/core"
+	"repro/internal/interp"
 	"repro/internal/trace"
 	"repro/internal/version"
 )
+
+// engineSmoke compiles src for the selected interpreter engine and
+// executes its zero-argument functions, bounded by a step budget and a
+// deadline so a nonterminating program cannot hang the CLI.
+func engineSmoke(src, engine string) error {
+	prog, err := cminus.Parse(src)
+	if err != nil {
+		return err
+	}
+	m, err := interp.New(prog)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	m.Interp = engine
+	m.Ctx = ctx
+	m.Budget = budget.New(ctx, 100_000_000)
+	if err := m.Precompile(); err != nil {
+		return err
+	}
+	for _, fn := range prog.Funcs {
+		if fn.Body == nil || len(fn.Params) > 0 {
+			continue
+		}
+		if err := m.Call(fn.Name); err != nil {
+			return fmt.Errorf("%s: %w", fn.Name, err)
+		}
+	}
+	return nil
+}
 
 func main() {
 	level := flag.String("level", "new", "analysis level: classical, base or new")
@@ -52,6 +98,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-file analysis deadline (0 = none); a file that exceeds it fails like any other per-file error")
 	budgetSteps := flag.Int64("budget", 0, "per-file analysis step budget (0 = unlimited)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON profile of the analysis pipeline to this file")
+	engine := flag.String("engine", "", "interpreter smoke: compile each analyzed file for this engine ("+strings.Join(interp.Engines(), ", ")+") and run its zero-argument functions; empty skips")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: subsubcc [flags] file.c [file2.c ...]\n")
@@ -64,6 +111,12 @@ func main() {
 	}
 	if flag.NArg() < 1 {
 		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *engine != "" && !slices.Contains(interp.Engines(), *engine) {
+		fmt.Fprintf(os.Stderr, "subsubcc: unknown engine %q (available: %s)\n",
+			*engine, strings.Join(interp.Engines(), ", "))
 		os.Exit(2)
 	}
 
@@ -102,6 +155,20 @@ func main() {
 	}
 	for j, br := range core.AnalyzeBatch(sources, opt) {
 		results[sourceSlot[j]] = br
+	}
+
+	// Interpreter smoke: an analyzed file that the selected engine cannot
+	// compile and run claims its result slot like an analysis failure.
+	if *engine != "" {
+		for j, src := range sources {
+			r := results[sourceSlot[j]]
+			if r.Err != nil {
+				continue
+			}
+			if err := engineSmoke(src.Src, *engine); err != nil {
+				r.Err = fmt.Errorf("engine smoke (%s): %w", *engine, err)
+			}
+		}
 	}
 
 	if opt.Trace != nil {

@@ -46,12 +46,12 @@ func (h *Harness) Runtime(jsonPath string) (*RuntimeReport, error) {
 	}
 	rep := &RuntimeReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Cores: runtime.NumCPU()}
 
-	h.printf("Runtime: real execution, tree oracle vs compiled engine (best of %d)\n", reps)
+	h.printf("Runtime: real execution, tree oracle vs compiled vs bytecode VM (best of %d)\n", reps)
 	h.printf("%-12s %-9s %-8s %12s %14s\n", "kernel", "engine", "workers", "seconds", "vs tree")
 	for _, name := range runtimeKernels {
 		b := corpus.ByName(name)
 		treeSecs := map[int]float64{}
-		for _, engine := range []string{"tree", "compiled"} {
+		for _, engine := range []string{"tree", "compiled", "vm"} {
 			for _, workers := range []int{1, 2} {
 				secs, err := measureRuntime(b, engine, workers, scale, reps)
 				if err != nil {

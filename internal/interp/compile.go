@@ -608,6 +608,13 @@ func (fc *fnCompiler) compileI(e cminus.Expr) iexpr {
 		case "++", "--":
 			return fc.compileIncDecI(x)
 		}
+		// Unknown unary: the tree walker rejects the operator without
+		// evaluating the operand.
+		op, pos := x.Op, x.P
+		return func(*frame) int64 {
+			throwf("interp: unary %q at %s", op, pos)
+			return 0
+		}
 	case *cminus.CondExpr:
 		c := fc.compileB(x.C)
 		t, f := fc.compileI(x.T), fc.compileI(x.F)
@@ -899,7 +906,7 @@ func (fc *fnCompiler) compileIncDecF(x *cminus.UnaryExpr) fexpr {
 
 // arrayAt compiles the subscript chain of an IndexExpr into an offset
 // closure (bounds-checked, all indices evaluated exactly once).
-func (fc *fnCompiler) arrayAt(e *cminus.IndexExpr) (*arraySym, func(fr *frame) (*Array, int64)) {
+func (fc *fnCompiler) arrayAt(e *cminus.IndexExpr, pos cminus.Position) (*arraySym, func(fr *frame) (*Array, int64)) {
 	name, idxExprs, ok := cminus.ArrayBase(e)
 	if !ok {
 		pos := e.P
@@ -917,7 +924,8 @@ func (fc *fnCompiler) arrayAt(e *cminus.IndexExpr) (*arraySym, func(fr *frame) (
 		fc.cf.entryArrs = append(fc.cf.entryArrs, entryArr{slot: sym.slot, name: name})
 	}
 	slot := sym.slot
-	pos := e.P
+	// Tree-walker order: unknown-array check, then every subscript
+	// evaluated left to right, then rank, then bounds dim by dim.
 	if len(idxExprs) == 1 {
 		ix := fc.asI(idxExprs[0])
 		return sym, func(fr *frame) (*Array, int64) {
@@ -925,10 +933,10 @@ func (fc *fnCompiler) arrayAt(e *cminus.IndexExpr) (*arraySym, func(fr *frame) (
 			if a == nil {
 				throwf("interp: unknown array %q at %s", name, pos)
 			}
+			i := ix(fr)
 			if len(a.Dims) != 1 {
 				throwf("interp: array %s indexed with 1 subscripts, has %d dims", a.Name, len(a.Dims))
 			}
-			i := ix(fr)
 			if i < 0 || i >= a.Dims[0] {
 				throwf("interp: array %s index %d out of range [0,%d) in dim 0", a.Name, i, a.Dims[0])
 			}
@@ -944,12 +952,19 @@ func (fc *fnCompiler) arrayAt(e *cminus.IndexExpr) (*arraySym, func(fr *frame) (
 		if a == nil {
 			throwf("interp: unknown array %q at %s", name, pos)
 		}
+		var buf [8]int64
+		vals := buf[:0]
+		if len(idx) > len(buf) {
+			vals = make([]int64, 0, len(idx))
+		}
+		for _, fn := range idx {
+			vals = append(vals, fn(fr))
+		}
 		if len(idx) != len(a.Dims) {
 			throwf("interp: array %s indexed with %d subscripts, has %d dims", a.Name, len(idx), len(a.Dims))
 		}
 		var off int64
-		for d, fn := range idx {
-			ix := fn(fr)
+		for d, ix := range vals {
 			if ix < 0 || ix >= a.Dims[d] {
 				throwf("interp: array %s index %d out of range [0,%d) in dim %d", a.Name, ix, a.Dims[d], d)
 			}
@@ -960,7 +975,7 @@ func (fc *fnCompiler) arrayAt(e *cminus.IndexExpr) (*arraySym, func(fr *frame) (
 }
 
 func (fc *fnCompiler) arrayReadI(e *cminus.IndexExpr) iexpr {
-	_, at := fc.arrayAt(e)
+	_, at := fc.arrayAt(e, e.P)
 	return func(fr *frame) int64 {
 		a, off := at(fr)
 		if a.Float {
@@ -971,7 +986,7 @@ func (fc *fnCompiler) arrayReadI(e *cminus.IndexExpr) iexpr {
 }
 
 func (fc *fnCompiler) arrayReadF(e *cminus.IndexExpr) fexpr {
-	_, at := fc.arrayAt(e)
+	_, at := fc.arrayAt(e, e.P)
 	return func(fr *frame) float64 {
 		a, off := at(fr)
 		if a.Float {
@@ -1363,14 +1378,31 @@ func (fc *fnCompiler) compileAssign(x *cminus.AssignStmt) cstmt {
 	}
 	// Array target.
 	ix, ok := x.LHS.(*cminus.IndexExpr)
+	if ok {
+		if _, _, shaped := cminus.ArrayBase(ix); !shaped {
+			ok = false
+		}
+	}
 	if !ok {
+		// Tree-walker order: the RHS evaluates (and may itself error)
+		// before the target is rejected.
 		pos := x.P
-		return func(*frame) control {
+		if fc.typeOf(x.RHS) == tFloat {
+			rhs := fc.asF(x.RHS)
+			return func(fr *frame) control {
+				rhs(fr)
+				throwf("interp: unsupported assignment target at %s", pos)
+				return ctlNext
+			}
+		}
+		rhs := fc.asI(x.RHS)
+		return func(fr *frame) control {
+			rhs(fr)
 			throwf("interp: unsupported assignment target at %s", pos)
 			return ctlNext
 		}
 	}
-	_, at := fc.arrayAt(ix)
+	_, at := fc.arrayAt(ix, x.P)
 	if x.Op == "" {
 		if fc.typeOf(x.RHS) == tFloat {
 			rhs := fc.compileF(x.RHS)

@@ -20,7 +20,7 @@ func machineFor(t *testing.T, src, engine string) *Machine {
 	return m
 }
 
-var engines = []string{"compiled", "tree"}
+var engines = []string{"compiled", "vm", "tree"}
 
 // TestArrayParamBindingScoped is the regression test for the array
 // binding leak: array arguments used to be bound into the global

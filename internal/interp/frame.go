@@ -88,9 +88,17 @@ func (cf *cfunc) release(fr *frame) { cf.pool.Put(fr) }
 
 // bindEntry prepares a fresh (possibly pooled) frame: array slots are
 // cleared and globals re-resolved, so staleness never leaks across calls.
-// Scalar slots need no clearing: declared locals zero-store at their
-// DeclStmt and implicit locals are assigned before any well-formed read.
+// Scalar columns are zeroed too — declared locals re-zero at their
+// DeclStmt anyway, but implicit locals read before their first
+// assignment (ill-formed, yet executable) must observe a deterministic
+// zero rather than pooled garbage, on every engine identically.
 func (cf *cfunc) bindEntry(fr *frame, m *Machine) {
+	for i := range fr.ints {
+		fr.ints[i] = 0
+	}
+	for i := range fr.flts {
+		fr.flts[i] = 0
+	}
 	for i := range fr.arrs {
 		fr.arrs[i] = nil
 	}

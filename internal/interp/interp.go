@@ -11,6 +11,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/cminus"
 	"repro/internal/parallelize"
+	"repro/internal/trace"
 )
 
 // Machine executes a mini-C program.
@@ -25,9 +26,19 @@ type Machine struct {
 	// chunk size instead of static chunking.
 	DynamicChunk int
 	// Interp selects the execution engine: "" or "compiled" for the
-	// slot-resolved closure engine (default), "tree" for the original
-	// tree-walking oracle.
+	// slot-resolved closure engine (default), "vm" for the bytecode
+	// machine, "tree" for the original tree-walking oracle. Unknown
+	// names are rejected by Call with the available-engine list.
 	Interp string
+	// Budget, when non-nil, meters VM execution: the bytecode dispatch
+	// loop bills one Step per vmQuantum instructions, so an exhausted
+	// step budget aborts the run (Call returns an error wrapping
+	// budget.ErrBudget) within one quantum. The tree and compiled
+	// engines do not consume it.
+	Budget *budget.B
+	// Trace, when recording, receives compile-bc spans for bytecode
+	// compilation and exec-vm spans for VM runs. Nil-safe.
+	Trace *trace.Recorder
 	// Ctx cancels a running program: both engines poll it at loop back
 	// edges (every 1024 edges machine-wide) and abort with an error
 	// wrapping budget.ErrCanceled. Nil means non-cancellable.
@@ -45,6 +56,8 @@ type Machine struct {
 	retVal Value
 	// comp caches the compiled program; invalidated when Plan changes.
 	comp *compiledProgram
+	// bc caches the bytecode program; invalidated when Plan changes.
+	bc *bytecodeProgram
 	// arrShadows scopes m.Arrays bindings (parameter arrays, local
 	// array declarations) to the call that made them, so repeated or
 	// nested calls never leak bindings into the global namespace.
@@ -171,10 +184,37 @@ func (m *Machine) Call(name string, args ...Arg) error {
 	switch m.Interp {
 	case "", "compiled":
 		return m.callCompiled(name, args)
+	case "vm":
+		return m.callVM(name, args)
 	case "tree":
 		return m.callTree(name, args)
 	}
-	return fmt.Errorf("interp: unknown engine %q", m.Interp)
+	return fmt.Errorf("interp: unknown engine %q (available: %s)",
+		m.Interp, strings.Join(Engines(), ", "))
+}
+
+// Engines lists the selectable execution engines, default first. The
+// empty string is accepted as an alias for "compiled".
+func Engines() []string { return []string{"compiled", "vm", "tree"} }
+
+// Precompile validates the selected engine and forces its compilation
+// pipeline over the whole program, so engine typos and code-generation
+// problems surface before the first Call. The tree engine has no
+// compilation step; unknown engines are rejected with the same error as
+// Call. This is the interpreter smoke path behind the subsubcc -engine
+// flag.
+func (m *Machine) Precompile() error {
+	switch m.Interp {
+	case "", "compiled":
+		m.ensureCompiled()
+	case "vm":
+		m.ensureBytecode()
+	case "tree":
+	default:
+		return fmt.Errorf("interp: unknown engine %q (available: %s)",
+			m.Interp, strings.Join(Engines(), ", "))
+	}
+	return nil
 }
 
 // callTree is Machine.Call on the tree-walking oracle.
