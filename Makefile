@@ -15,6 +15,10 @@
 #   make fuzz-smoke — 5s whole-pipeline fuzz (FuzzAnalyze) as a gate step
 #   make vm-differential — three-engine corpus bit-identity (tree vs
 #                  compiled vs bytecode VM) under the race detector
+#   make codegen-differential — native-code differential: emit every
+#                  corpus kernel as a standalone parallel Go package,
+#                  go vet + build it with -race, run serial / 8-worker /
+#                  guard-forced, and require bit-identity with the VM
 #   make property-soundness — the injectivity/permutation fact battery:
 #                  adversarial near-miss suite, scatter dependence tests,
 #                  and the serial-vs-parallel scatter differential, all
@@ -26,7 +30,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet test race check fuzz fuzz-smoke fault-e2e bench benchsmoke serve-smoke trace-smoke property-soundness experiments
+.PHONY: build fmt vet test race check fuzz fuzz-smoke fault-e2e bench benchsmoke serve-smoke trace-smoke property-soundness codegen-differential experiments
 
 build:
 	$(GO) build ./...
@@ -98,7 +102,19 @@ property-soundness:
 fault-e2e:
 	$(GO) test -race -run 'TestFault|TestBudgetExhausted|TestHealthzReadyz|TestReadyz' ./internal/server/
 
-check: fmt vet build test race benchsmoke vm-differential serve-smoke trace-smoke fuzz-smoke property-soundness fault-e2e
+# Native-code differential: every corpus kernel (scatter extension
+# included) is emitted as a standalone Go main package, go-vetted, built
+# with -race, and executed serial / 8-worker / guard-forced; array end
+# states must be bit-identical to the bytecode VM and the region
+# counters must match (forced guard failures must all take the serial
+# fallback). Reduction lowering gets its own differential (the corpus
+# kernels carry none), and the golden-file tests pin emitted source
+# byte-for-byte.
+codegen-differential:
+	$(GO) test -race -run 'TestCodegenDifferential|TestReductionDifferential|TestGoldenEmit|TestEmitAllKernels' \
+		./internal/codegen/
+
+check: fmt vet build test race benchsmoke vm-differential codegen-differential serve-smoke trace-smoke fuzz-smoke property-soundness fault-e2e
 
 fuzz:
 	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime 20s ./internal/cminus/

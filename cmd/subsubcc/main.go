@@ -29,6 +29,15 @@
 // runs. A per-stage aggregate table (cumulative/self time, budget steps,
 // sign proofs, dependence pairs) is printed to stderr alongside.
 //
+// -emit transpiles each analyzed file to a runnable parallel Go main
+// package under the given directory (one subdirectory per source,
+// internal/codegen): plan-chosen loops become chunked goroutine
+// dispatch behind the decision's runtime checks and array guards, with
+// a serial fallback. Emission is all-or-nothing: if any file's analysis
+// failed or produced diagnostics, nothing is emitted, the offending
+// files are listed per file on stderr, and the exit status is 1 —
+// the same convention batch analysis errors follow.
+//
 // -engine runs an interpreter smoke on each successfully analyzed file:
 // the source is compiled for the named engine (compiled, vm or tree)
 // and its zero-argument functions are executed under a step budget and
@@ -44,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"slices"
 	"strings"
@@ -51,6 +61,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/cminus"
+	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/trace"
@@ -99,6 +110,7 @@ func main() {
 	budgetSteps := flag.Int64("budget", 0, "per-file analysis step budget (0 = unlimited)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON profile of the analysis pipeline to this file")
 	engine := flag.String("engine", "", "interpreter smoke: compile each analyzed file for this engine ("+strings.Join(interp.Engines(), ", ")+") and run its zero-argument functions; empty skips")
+	emitDir := flag.String("emit", "", "transpile each analyzed file to a runnable parallel Go main package under this directory (refused if any file has analysis errors)")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: subsubcc [flags] file.c [file2.c ...]\n")
@@ -171,6 +183,13 @@ func main() {
 		}
 	}
 
+	if *emitDir != "" {
+		if err := emitAll(results, *emitDir); err != nil {
+			fmt.Fprint(os.Stderr, err.Error())
+			os.Exit(1)
+		}
+	}
+
 	if opt.Trace != nil {
 		if err := writeTrace(opt.Trace, *tracePath); err != nil {
 			fmt.Fprintf(os.Stderr, "subsubcc: %v\n", err)
@@ -214,6 +233,68 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// emitAll transpiles every analyzed result into a Go main package under
+// dir, one subdirectory per source file. It refuses the whole batch when
+// any file's analysis failed or produced diagnostics — generated code
+// from a degraded plan would silently serialize loops the user expects
+// parallel — listing the offending files like any batch failure.
+func emitAll(results []*core.BatchResult, dir string) error {
+	var bad []string
+	for _, r := range results {
+		switch {
+		case r.Err != nil:
+			bad = append(bad, fmt.Sprintf("  %s: %v", r.Name, r.Err))
+		case len(r.Res.Plan.Diagnostics) > 0:
+			for _, d := range r.Res.Plan.Diagnostics {
+				bad = append(bad, fmt.Sprintf("  %s: %s", r.Name, d.Message()))
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("subsubcc: -emit refused, %d of %d files have analysis errors:\n%s\n",
+			len(bad), len(results), strings.Join(bad, "\n"))
+	}
+	used := map[string]bool{}
+	for _, r := range results {
+		leaf := emitLeaf(r.Name)
+		for used[leaf] {
+			leaf += "_"
+		}
+		used[leaf] = true
+		pkg, err := codegen.EmitPackage(r.Res.Plan, "subsubgen/"+leaf)
+		if err != nil {
+			return fmt.Errorf("subsubcc: emit %s: %v\n", r.Name, err)
+		}
+		out := filepath.Join(dir, leaf)
+		if err := pkg.WritePackage(out); err != nil {
+			return fmt.Errorf("subsubcc: emit %s: %v\n", r.Name, err)
+		}
+		fmt.Printf("emitted %s -> %s\n", r.Name, out)
+	}
+	return nil
+}
+
+// emitLeaf derives a directory/module leaf from a source path: the base
+// name without extension, lowered, with non-alphanumerics collapsed to
+// dashes.
+func emitLeaf(path string) string {
+	base := filepath.Base(path)
+	base = strings.TrimSuffix(base, filepath.Ext(base))
+	var b strings.Builder
+	for _, r := range strings.ToLower(base) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			b.WriteRune('-')
+		}
+	}
+	leaf := strings.Trim(b.String(), "-")
+	if leaf == "" {
+		leaf = "kernel"
+	}
+	return leaf
 }
 
 // writeTrace validates and writes the recorded pipeline spans as Chrome

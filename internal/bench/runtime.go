@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/codegen"
 	"repro/internal/corpus"
+	"repro/internal/phase2"
 )
 
 // RuntimeRow is one machine-readable measurement of the real execution
@@ -34,11 +36,17 @@ type RuntimeReport struct {
 // three headline subscripted-subscript kernels plus one classical one).
 var runtimeKernels = []string{"AMGmk", "UA(transf)", "SDDMM", "CG"}
 
+// runtimeWorkers are the worker counts every engine is measured at.
+var runtimeWorkers = []int{1, 2, 8}
+
 // Runtime measures real (not simulated) execution time of the corpus
-// workloads under both engines, serial and 2-worker parallel, prints a
-// table, and — when jsonPath is non-empty — writes the rows there as
-// machine-readable JSON. The workload is rebuilt from scratch for every
-// repetition so repeated runs never feed a kernel its own output.
+// workloads across the engine tiers — tree oracle, closure-compiled,
+// bytecode VM, and the native tier (internal/codegen output built with
+// the Go compiler and timed inside the binary) — serial and parallel,
+// prints a table, and — when jsonPath is non-empty — writes the rows
+// there as machine-readable JSON. The workload is rebuilt from scratch
+// for every repetition so repeated runs never feed a kernel its own
+// output.
 func (h *Harness) Runtime(jsonPath string) (*RuntimeReport, error) {
 	scale, reps := corpus.ScaleBench, 3
 	if h.Quick {
@@ -46,15 +54,26 @@ func (h *Harness) Runtime(jsonPath string) (*RuntimeReport, error) {
 	}
 	rep := &RuntimeReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Cores: runtime.NumCPU()}
 
-	h.printf("Runtime: real execution, tree oracle vs compiled vs bytecode VM (best of %d)\n", reps)
+	h.printf("Runtime: real execution, tree oracle vs compiled vs vm vs native Go (best of %d)\n", reps)
 	h.printf("%-12s %-9s %-8s %12s %14s\n", "kernel", "engine", "workers", "seconds", "vs tree")
 	for _, name := range runtimeKernels {
 		b := corpus.ByName(name)
+		bin, cleanup, err := buildNative(b)
+		if err != nil {
+			return nil, err
+		}
 		treeSecs := map[int]float64{}
-		for _, engine := range []string{"tree", "compiled", "vm"} {
-			for _, workers := range []int{1, 2} {
-				secs, err := measureRuntime(b, engine, workers, scale, reps)
+		for _, engine := range []string{"tree", "compiled", "vm", "native"} {
+			for _, workers := range runtimeWorkers {
+				var secs float64
+				var err error
+				if engine == "native" {
+					secs, err = measureNative(b, bin, workers, scale, reps)
+				} else {
+					secs, err = measureRuntime(b, engine, workers, scale, reps)
+				}
 				if err != nil {
+					cleanup()
 					return nil, err
 				}
 				speedup := 1.0
@@ -70,6 +89,7 @@ func (h *Harness) Runtime(jsonPath string) (*RuntimeReport, error) {
 				h.printf("%-12s %-9s %-8d %12.6f %13.2fx\n", name, engine, workers, secs, speedup)
 			}
 		}
+		cleanup()
 	}
 	h.printf("\n")
 
@@ -108,6 +128,55 @@ func measureRuntime(b *corpus.Benchmark, engine string, workers int, scale corpu
 		secs := time.Since(t0).Seconds()
 		if r == 0 || secs < best {
 			best = secs
+		}
+	}
+	return best, nil
+}
+
+// buildNative emits the kernel's analyzed plan as a Go main package and
+// compiles it (no race instrumentation — this is the timed
+// configuration; the differential gate covers -race).
+func buildNative(b *corpus.Benchmark) (string, func(), error) {
+	plan := corpus.PlanFor(b, phase2.LevelNew)
+	pkg, err := codegen.EmitPackage(plan, "subsubgen/bench")
+	if err != nil {
+		return "", nil, err
+	}
+	dir, err := os.MkdirTemp("", "subsubgen-bench-")
+	if err != nil {
+		return "", nil, err
+	}
+	cleanup := func() { os.RemoveAll(dir) }
+	if err := pkg.WritePackage(dir); err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	bin, err := codegen.BuildBinary(dir, false)
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	return bin, cleanup, nil
+}
+
+// measureNative times the generated binary on freshly built workloads.
+// The binary reports the call-sequence wall time itself, so process
+// startup and JSON codec costs stay outside the measurement, mirroring
+// how the interpreter cells time only w.Run.
+func measureNative(b *corpus.Benchmark, bin string, workers int, scale corpus.Scale, reps int) (float64, error) {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		w := corpus.NewWork(b, scale)
+		in, err := codegen.InputFromWork(w, workers, nil)
+		if err != nil {
+			return 0, err
+		}
+		res, err := codegen.RunBinary(bin, in)
+		if err != nil {
+			return 0, err
+		}
+		if r == 0 || res.Seconds < best {
+			best = res.Seconds
 		}
 	}
 	return best, nil

@@ -1,0 +1,131 @@
+package codegen
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/phase2"
+)
+
+// sanitizeModule turns a benchmark name into a go.mod-safe module leaf.
+func sanitizeModule(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// vmOracle runs the benchmark's workload on the bytecode VM and returns
+// the end state and region counters.
+func vmOracle(t *testing.T, b *corpus.Benchmark, workers int) (map[string]*interp.Array, int64, int64) {
+	t.Helper()
+	w := corpus.NewWork(b, corpus.ScaleQuick)
+	m, err := w.NewMachine(workers)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	m.Interp = "vm"
+	if err := w.Run(m); err != nil {
+		t.Fatalf("vm@%d: %v", workers, err)
+	}
+	return w.Arrays, int64(m.Stats.ParallelRegions), int64(m.Stats.RuntimeFallback)
+}
+
+// buildKernel emits and compiles one benchmark, returning the package
+// dir and binary path.
+func buildKernel(t *testing.T, b *corpus.Benchmark, race bool) (string, string) {
+	t.Helper()
+	plan := corpus.PlanFor(b, phase2.LevelNew)
+	pkg, err := EmitPackage(plan, "subsubgen/"+sanitizeModule(b.Name))
+	if err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	dir := t.TempDir()
+	if err := pkg.WritePackage(dir); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	bin, err := BuildBinary(dir, race)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return dir, bin
+}
+
+func runNative(t *testing.T, bin string, b *corpus.Benchmark, workers int, failGuards []string) *RunResult {
+	t.Helper()
+	w := corpus.NewWork(b, corpus.ScaleQuick)
+	in, err := InputFromWork(w, workers, failGuards)
+	if err != nil {
+		t.Fatalf("input: %v", err)
+	}
+	res, err := RunBinary(bin, in)
+	if err != nil {
+		t.Fatalf("run@%d: %v", workers, err)
+	}
+	return res
+}
+
+// TestCodegenDifferential is the native differential gate: every corpus
+// kernel (scatter extension included) emits Go that vets, builds with
+// -race, and runs serial, 8-worker and guard-forced bit-identical to
+// the bytecode VM, with matching region counters.
+func TestCodegenDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs native binaries")
+	}
+	for _, b := range corpus.Extended() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			dir, bin := buildKernel(t, b, true)
+
+			vet := exec.Command("go", "vet", ".")
+			vet.Dir = dir
+			if out, err := vet.CombinedOutput(); err != nil {
+				t.Fatalf("go vet: %v\n%s", err, out)
+			}
+
+			serialRef, _, _ := vmOracle(t, b, 1)
+			parRef, vmPar, vmFb := vmOracle(t, b, 8)
+
+			// Serial native: no parallel machinery engages at workers=1.
+			res := runNative(t, bin, b, 1, nil)
+			if d := DiffArrays(serialRef, res.Arrays); d != "" {
+				t.Errorf("serial: %s", d)
+			}
+			if res.Parallel != 0 || res.Fallback != 0 {
+				t.Errorf("serial: stats %d/%d, want 0/0", res.Parallel, res.Fallback)
+			}
+
+			// 8-worker native: same end state and region counters as the VM.
+			res = runNative(t, bin, b, 8, nil)
+			if d := DiffArrays(parRef, res.Arrays); d != "" {
+				t.Errorf("parallel: %s", d)
+			}
+			if res.Parallel != vmPar || res.Fallback != vmFb {
+				t.Errorf("parallel: stats %d/%d, want %d/%d (vm)", res.Parallel, res.Fallback, vmPar, vmFb)
+			}
+
+			// Forced guard failure: every region entry must take the serial
+			// fallback and still produce the serial end state.
+			res = runNative(t, bin, b, 8, []string{"*"})
+			if d := DiffArrays(serialRef, res.Arrays); d != "" {
+				t.Errorf("forced fallback: %s", d)
+			}
+			if res.Parallel != 0 {
+				t.Errorf("forced fallback: %d regions still ran parallel", res.Parallel)
+			}
+			if want := vmPar + vmFb; res.Fallback != want {
+				t.Errorf("forced fallback: %d fallbacks, want %d", res.Fallback, want)
+			}
+		})
+	}
+}

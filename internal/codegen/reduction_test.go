@@ -1,0 +1,116 @@
+package codegen
+
+import (
+	"testing"
+
+	"repro/internal/cminus"
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/parallelize"
+	"repro/internal/phase2"
+	"repro/internal/ranges"
+	"repro/internal/symbolic"
+)
+
+// The corpus kernels carry no reductions, so reduction lowering (per-
+// worker partials, identity init, deterministic worker-order combine)
+// gets its own differential source: a dot product accumulating into a
+// shared scalar, observable through an output array.
+const reductionSrc = `
+void dotp(int n, double *a, double *b, double *out) {
+	double s;
+	int i;
+	s = 0.0;
+	for (i = 0; i < n; i = i + 1) {
+		s = s + a[i] * b[i];
+	}
+	out[0] = s;
+}
+`
+
+// TestReductionDifferential checks the reduction lowering against the
+// VM at matching worker counts: identical chunking makes the combine
+// order identical, so even floating-point sums must agree bit for bit.
+func TestReductionDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a native binary")
+	}
+	assume := ranges.New()
+	assume.Set("n", symbolic.One, nil)
+	plan := parallelize.Run(cminus.MustParse(reductionSrc), phase2.LevelNew,
+		&parallelize.Options{Assume: assume})
+
+	chosen := false
+	if fp := plan.Funcs["dotp"]; fp != nil {
+		for _, lp := range fp.Loops {
+			chosen = chosen || lp.Chosen
+		}
+	}
+	if !chosen {
+		t.Fatal("dotp loop not chosen for parallel execution")
+	}
+
+	pkg, err := EmitPackage(plan, "subsubgen/dotp")
+	if err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	dir := t.TempDir()
+	if err := pkg.WritePackage(dir); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := BuildBinary(dir, true)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	const n = 1003 // odd size: last worker gets a short chunk
+	newWork := func() *corpus.Work {
+		a := interp.NewFloatArray("a", n)
+		b := interp.NewFloatArray("b", n)
+		out := interp.NewFloatArray("out", 1)
+		for i := 0; i < n; i++ {
+			a.Flts[i] = 1.0 / float64(i+1)
+			b.Flts[i] = float64(i%7) - 3.0
+		}
+		return &corpus.Work{
+			Calls:  []corpus.Call{{Fn: "dotp", Args: []interp.Arg{n, a, b, out}}},
+			Arrays: map[string]*interp.Array{"a": a, "b": b, "out": out},
+		}
+	}
+
+	oracle := func(workers int) (map[string]*interp.Array, int, int) {
+		w := newWork()
+		m, err := interp.New(plan.Program())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Plan = plan
+		m.Workers = workers
+		m.Interp = "vm"
+		if err := w.Run(m); err != nil {
+			t.Fatalf("vm@%d: %v", workers, err)
+		}
+		return w.Arrays, m.Stats.ParallelRegions, m.Stats.RuntimeFallback
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		ref, vmPar, vmFb := oracle(workers)
+		in, err := InputFromWork(newWork(), workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunBinary(bin, in)
+		if err != nil {
+			t.Fatalf("native@%d: %v", workers, err)
+		}
+		if d := DiffArrays(ref, res.Arrays); d != "" {
+			t.Errorf("workers=%d: %s", workers, d)
+		}
+		if res.Parallel != int64(vmPar) || res.Fallback != int64(vmFb) {
+			t.Errorf("workers=%d: stats %d/%d, want %d/%d", workers, res.Parallel, res.Fallback, vmPar, vmFb)
+		}
+		if workers > 1 && res.Parallel == 0 {
+			t.Errorf("workers=%d: reduction loop did not run parallel", workers)
+		}
+	}
+}

@@ -28,6 +28,13 @@ type Decision struct {
 	// parallel execution to be valid (evaluated by the generated code; the
 	// loop falls back to serial execution when one fails).
 	RuntimeChecks []symbolic.Expr
+	// Guards are array-shaped runtime obligations: the subscript-array
+	// properties the decision relied on, restated as entry checks a
+	// native code generator can verify by scanning the array (serial
+	// fallback on failure). Only emitted when the subscript is the loop
+	// index itself, so the scanned section equals the accessed one. The
+	// interpreter engines ignore Guards.
+	Guards []Guard
 	// UsedProperties lists the subscript-array properties the decision
 	// relied on (empty for purely classical decisions).
 	UsedProperties []string
@@ -373,6 +380,13 @@ func (t *Tester) injectiveSubscript(s1, s2 symbolic.Expr, v string, info *LoopAc
 		return false
 	}
 	t.emitSectionCheck(p, g, v, info, d)
+	if identitySubscript(g, v) {
+		if p.Monotone() && p.Strict && !p.Decreasing {
+			addGuard(d, Guard{Array: ar1.Name, Kind: GuardMonotone, Strict: true})
+		} else {
+			addGuard(d, Guard{Array: ar1.Name, Kind: GuardInjective})
+		}
+	}
 	return true
 }
 
@@ -446,6 +460,9 @@ func (t *Tester) disjointWindows(s1, s2 symbolic.Expr, v string, info *LoopAcces
 	}
 	// Non-strict monotonicity suffices for window disjointness.
 	t.emitSectionCheck(p, f, v, info, d)
+	if identitySubscript(f, v) {
+		addGuard(d, Guard{Array: ar.Name, Kind: GuardMonotone, Window: true})
+	}
 	return true
 }
 
@@ -500,6 +517,9 @@ func (t *Tester) multiDimDisjoint(s1, s2 symbolic.Expr, v string, info *LoopAcce
 		return false
 	}
 	d.UsedProperties = append(d.UsedProperties, p.String())
+	if p.Dim == 0 && identitySubscript(g1, v) {
+		addGuard(d, Guard{Array: ar1.Name, Kind: GuardRangeMono, Strict: true})
+	}
 	return true
 }
 
