@@ -25,12 +25,15 @@
 #                  under the race detector
 #   make fault-e2e — fault-injection daemon tests (stall/panic/budget
 #                  failpoints) under the race detector
+#   make chaos-e2e — the fleet chaos gate: consistent-hash ring, circuit
+#                  breaker, crash-safe store, and the 3-node kill/revive
+#                  chaos suite, all under the race detector
 #   make fuzz    — short fuzz session over the parser and simplifier
 #   make bench   — batch-driver, cache, and interpreter benchmarks
 
 GO ?= go
 
-.PHONY: build fmt vet test race check fuzz fuzz-smoke fault-e2e bench benchsmoke serve-smoke trace-smoke property-soundness codegen-differential experiments
+.PHONY: build fmt vet test race check fuzz fuzz-smoke fault-e2e chaos-e2e bench benchsmoke serve-smoke trace-smoke property-soundness codegen-differential experiments
 
 build:
 	$(GO) build ./...
@@ -114,7 +117,17 @@ codegen-differential:
 	$(GO) test -race -run 'TestCodegenDifferential|TestReductionDifferential|TestGoldenEmit|TestEmitAllKernels' \
 		./internal/codegen/
 
-check: fmt vet build test race benchsmoke vm-differential codegen-differential serve-smoke trace-smoke fuzz-smoke property-soundness fault-e2e
+# Fleet chaos gate: the sharded-fleet building blocks (ring determinism,
+# breaker state machine, crash-safe store) plus the 3-node chaos suite —
+# peers stalled, dropped, 5xx'd, killed and revived, store writes
+# crashed and entries corrupted — with zero client-visible errors and
+# byte-identity against a standalone node, all under the race detector.
+chaos-e2e:
+	$(GO) test -race -run 'TestRing|TestBreaker|TestFill|TestProbe|TestStop|TestCluster|TestChaos|TestDrain' \
+		./internal/cluster/ ./internal/server/
+	$(GO) test -race ./internal/store/
+
+check: fmt vet build test race benchsmoke vm-differential codegen-differential serve-smoke trace-smoke fuzz-smoke property-soundness fault-e2e chaos-e2e
 
 fuzz:
 	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime 20s ./internal/cminus/

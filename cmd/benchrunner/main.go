@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	benchrunner [-experiment table1|fig13|fig14|fig15|fig16|fig17|ablation|compiletime|runtime|all] [-quick]
+//	benchrunner [-experiment table1|fig13|fig14|fig15|fig16|fig17|ablation|compiletime|runtime|serve|all] [-quick]
 //
 // The runtime experiment measures the real execution engines (tree
 // oracle vs compiled) over the corpus workloads and writes the rows to
-// -runtime-json (default BENCH_runtime.json).
+// -runtime-json (default BENCH_runtime.json). The serve experiment
+// drives an open-loop Zipf-skewed load against an in-process 3-node
+// subsubd fleet — healthy, then with one peer killed — and writes
+// latency percentiles, cache hit rate, and fallback rate to
+// -serve-json (default BENCH_serve.json).
 package main
 
 import (
@@ -20,11 +24,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "table1, fig13, fig14, fig15, fig16, fig17, ablation, compiletime, runtime or all")
+	exp := flag.String("experiment", "all", "table1, fig13, fig14, fig15, fig16, fig17, ablation, compiletime, runtime, serve or all")
 	quick := flag.Bool("quick", false, "use scaled-down datasets")
 	validate := flag.Bool("validate", true, "run the 2-worker real-execution soundness check")
 	workers := flag.Int("workers", 0, "worker pool for the compile-time batch experiment (0 = all cores)")
 	runtimeJSON := flag.String("runtime-json", "BENCH_runtime.json", "output path for the runtime experiment's JSON rows (empty = don't write)")
+	serveJSON := flag.String("serve-json", "BENCH_serve.json", "output path for the serve experiment's JSON rows (empty = don't write)")
 	flag.Parse()
 
 	h := bench.New(os.Stdout, *quick)
@@ -64,13 +69,18 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchrunner: runtime experiment: %v\n", err)
 				os.Exit(1)
 			}
+		case "serve":
+			if _, err := h.Serve(*serveJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: serve experiment: %v\n", err)
+				os.Exit(1)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "compile", "runtime"} {
+		for _, name := range []string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "compile", "runtime", "serve"} {
 			run(name)
 		}
 		return

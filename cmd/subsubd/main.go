@@ -11,12 +11,23 @@
 //	subsubd [-addr :8723] [-workers N] [-queue N] [-analysis-workers N]
 //	        [-cache-entries N] [-cache-bytes N] [-timeout D] [-budget N]
 //	        [-drain D] [-flight N] [-admin addr]
+//	        [-node name -peers name=url,name=url] [-store-dir dir]
 //
 // GET /healthz is the liveness probe (always 200 while the process
 // serves, reporting the build version); GET /readyz is the readiness
 // probe (503 while draining or while the admission queue is at the shed
 // threshold). -budget bounds each analysis in abstract work steps;
 // exceeding it returns 422.
+//
+// Fleet mode: -node names this daemon and -peers lists the other fleet
+// members; the fleet consistent-hashes request digests so each key has
+// one owning node, and misses on non-owners are filled from the owner
+// (internal/cluster). Peer failures degrade gracefully — health probes,
+// per-peer circuit breakers, and bounded retries bound the cost, and any
+// fill failure falls back to computing locally, so clients never see
+// fleet-internal errors. -store-dir adds a crash-safe on-disk result
+// store (internal/store) under the in-memory cache, bounded by
+// -store-bytes, so a restarted daemon serves its working set warm.
 //
 // Every executed analysis runs under the pipeline trace recorder; the
 // last -flight request traces are retained in memory and served by GET
@@ -53,8 +64,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/version"
 )
 
@@ -70,6 +83,13 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	flight := flag.Int("flight", 32, "request traces retained for /debug/traces (negative: disable tracing)")
 	admin := flag.String("admin", "", "admin listen address exposing net/http/pprof (e.g. 127.0.0.1:8724; empty: disabled)")
+	node := flag.String("node", "", "this node's fleet name (required with -peers)")
+	peersFlag := flag.String("peers", "", "comma-separated fleet peers as name=baseURL (e.g. b=http://10.0.0.2:8723,c=http://10.0.0.3:8723)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer health-probe interval")
+	fillTimeout := flag.Duration("fill-timeout", 5*time.Second, "per-attempt peer-fill timeout")
+	fillRetries := flag.Int("fill-retries", 1, "retries after a failed peer-fill attempt (0: none)")
+	storeDir := flag.String("store-dir", "", "directory for the crash-safe on-disk result store (empty: disabled)")
+	storeBytes := flag.Int64("store-bytes", 256<<20, "max bytes in the on-disk result store")
 	selfcheck := flag.String("selfcheck", "", "smoke mode: serve on an ephemeral port, replay this request file, verify, exit")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
@@ -95,6 +115,44 @@ func main() {
 		}(),
 		Logf: log.Printf,
 	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, *storeBytes)
+		if err != nil {
+			log.Fatalf("subsubd: store: %v", err)
+		}
+		cfg.Store = st
+		log.Printf("subsubd store at %s (max %d bytes, %d entries warm)",
+			*storeDir, *storeBytes, st.Len())
+	}
+
+	var cl *cluster.Cluster
+	if *peersFlag != "" || *node != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			log.Fatalf("subsubd: %v", err)
+		}
+		retries := *fillRetries
+		if retries <= 0 {
+			retries = -1 // cluster.Config treats 0 as "use the default"
+		}
+		cl, err = cluster.New(cluster.Config{
+			Self:          *node,
+			Peers:         peers,
+			ProbeInterval: *probeInterval,
+			FillTimeout:   *fillTimeout,
+			Retries:       retries,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("subsubd: %v", err)
+		}
+		cfg.Cluster = cl
+		cfg.NodeName = *node
+	}
+
 	handler := server.New(cfg)
 
 	if *selfcheck != "" {
@@ -111,6 +169,10 @@ func main() {
 	}
 	log.Printf("subsubd %s listening on %s (workers=%d queue=%d cache=%d entries/%d bytes)",
 		version.String(), ln.Addr(), *workers, *queue, *cacheEntries, *cacheBytes)
+	if cl != nil {
+		cl.Start()
+		log.Printf("subsubd fleet node %q with %d peers", *node, len(cl.Stats().Peers))
+	}
 
 	if *admin != "" {
 		adminLn, err := net.Listen("tcp", *admin)
@@ -138,15 +200,42 @@ func main() {
 	}
 	stop()
 	// Fail /readyz first so load balancers stop routing new work here;
-	// /healthz stays green while in-flight requests drain.
+	// /healthz stays green while in-flight requests drain. Then stop the
+	// cluster: outstanding peer fills abort and degrade to local compute,
+	// so the drain below can never hang on a stalled peer.
 	handler.SetDraining(true)
+	if cl != nil {
+		cl.Stop()
+	}
 	log.Printf("subsubd draining (up to %v)...", *drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Fatalf("subsubd: drain: %v", err)
 	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("subsubd: store close: %v", err)
+		}
+	}
 	log.Printf("subsubd stopped")
+}
+
+// parsePeers parses the -peers flag: comma-separated name=baseURL pairs.
+func parsePeers(s string) ([]cluster.Peer, error) {
+	var peers []cluster.Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want name=baseURL)", part)
+		}
+		peers = append(peers, cluster.Peer{Name: name, URL: url})
+	}
+	return peers, nil
 }
 
 // adminMux builds the opt-in admin handler: the Go profiler under

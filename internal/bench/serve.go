@@ -1,0 +1,325 @@
+package bench
+
+// The serve experiment: an open-loop, Zipf-skewed load generator driven
+// against an in-process 3-node subsubd fleet (internal/cluster +
+// internal/store over real loopback HTTP), first healthy, then degraded
+// with one peer killed mid-run. It reports client-side latency
+// percentiles, the fleet cache hit rate, and the fallback rate — the
+// serving-level counterpart of the runtime experiment's engine
+// measurements, and the number that shows what graceful degradation
+// costs.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// serveSrc is the analyzed program: the EVSL-style fill/apply pair from
+// the paper (a monotonic index-array construction and a subscripted-
+// subscript consumer), small enough that cache-hit serving dominates
+// the measurement, as it does in a warm fleet.
+const serveSrc = `
+void fill(int npts, double *xdos, double t, double width, int *ind, int *count) {
+    int m = 0;
+    int j;
+    for (j = 0; j < npts; j++) {
+        if ((xdos[j] - t) < width)
+            ind[m++] = j;
+    }
+    count[0] = m;
+}
+
+void apply(int numPlaced, int *ind, double *y) {
+    int j;
+    for (j = 0; j < numPlaced; j++) {
+        y[ind[j]] = y[ind[j]] + 1.0;
+    }
+}
+`
+
+// ServePhaseRow is one load phase's measurements in BENCH_serve.json.
+type ServePhaseRow struct {
+	Phase        string  `json:"phase"`
+	Requests     int     `json:"requests"`
+	Errors       int     `json:"errors"`
+	P50Millis    float64 `json:"p50_ms"`
+	P99Millis    float64 `json:"p99_ms"`
+	CacheHitRate float64 `json:"cache_hit_rate"` // memory + disk hits / requests
+	PeerFills    int64   `json:"peer_fills"`     // misses filled by the owning peer
+	Fallbacks    int64   `json:"fallbacks"`      // fills degraded to local compute
+	FallbackRate float64 `json:"fallback_rate"`  // fallbacks / requests
+}
+
+// ServeReport is the BENCH_serve.json document.
+type ServeReport struct {
+	GOOS     string          `json:"goos"`
+	GOARCH   string          `json:"goarch"`
+	Cores    int             `json:"cores"`
+	Nodes    int             `json:"nodes"`
+	Keys     int             `json:"keys"`
+	ZipfS    float64         `json:"zipf_s"`
+	OpenLoop string          `json:"open_loop_interval"`
+	Phases   []ServePhaseRow `json:"phases"`
+}
+
+// serveFleetNode is one in-process daemon of the loadgen fleet.
+type serveFleetNode struct {
+	name string
+	url  string
+	hs   *http.Server
+	cl   *cluster.Cluster
+	st   *store.Store
+	dir  string
+}
+
+func (n *serveFleetNode) shutdown() {
+	n.cl.Stop()
+	n.hs.Close()
+	n.st.Close()
+	os.RemoveAll(n.dir)
+}
+
+// newServeFleet builds nodes daemons peered over loopback, each with a
+// cluster view and a disk store, and returns them started.
+func newServeFleet(nodes int) ([]*serveFleetNode, error) {
+	names := []string{"a", "b", "c", "d", "e"}[:nodes]
+	fleet := make([]*serveFleetNode, nodes)
+	listeners := make([]net.Listener, nodes)
+	for i := range fleet {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = ln
+		fleet[i] = &serveFleetNode{name: names[i], url: "http://" + ln.Addr().String()}
+	}
+	for i, node := range fleet {
+		var peers []cluster.Peer
+		for j, other := range fleet {
+			if j != i {
+				peers = append(peers, cluster.Peer{Name: other.name, URL: other.url})
+			}
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:          node.name,
+			Peers:         peers,
+			ProbeInterval: 50 * time.Millisecond,
+			FillTimeout:   2 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "subsubd-serve-")
+		if err != nil {
+			return nil, err
+		}
+		st, err := store.Open(dir, 64<<20)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		node.cl = cl
+		node.st = st
+		node.dir = dir
+		srv := server.New(server.Config{
+			Cluster:  cl,
+			Store:    st,
+			NodeName: node.name,
+		})
+		node.hs = &http.Server{Handler: srv}
+		go node.hs.Serve(listeners[i])
+		cl.Start()
+	}
+	return fleet, nil
+}
+
+// fleetCounters reads the front door's /v1/stats serving counters.
+func fleetCounters(front string) (peerFills, fallbacks int64, err error) {
+	resp, err := http.Get(front + "/v1/stats")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Server struct {
+			PeerFills int64 `json:"peer_fills"`
+			Fallbacks int64 `json:"fallbacks"`
+		} `json:"server"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, 0, err
+	}
+	return st.Server.PeerFills, st.Server.Fallbacks, nil
+}
+
+// percentile returns the p-quantile of sorted latency samples.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// servePhase fires n requests open-loop (one every interval, regardless
+// of completions) at the front door, drawing keys from zipf, and
+// collects client-side outcomes. Fleet counters are measured as deltas
+// around the phase.
+func servePhase(front string, reqs [][]byte, zipf *rand.Zipf, n int, interval time.Duration) (ServePhaseRow, error) {
+	startFills, startFalls, err := fleetCounters(front)
+	if err != nil {
+		return ServePhaseRow{}, err
+	}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		hits      int
+		errors    int
+		wg        sync.WaitGroup
+	)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for i := 0; i < n; i++ {
+		body := reqs[zipf.Uint64()]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := http.Post(front+"/v1/analyze", "application/json", bytes.NewReader(body))
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			latencies = append(latencies, lat)
+			if err != nil {
+				errors++
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errors++
+			}
+			switch resp.Header.Get("X-Subsubd-Cache") {
+			case "hit", "disk":
+				hits++
+			}
+		}()
+		<-ticker.C
+	}
+	wg.Wait()
+	endFills, endFalls, err := fleetCounters(front)
+	if err != nil {
+		return ServePhaseRow{}, err
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	row := ServePhaseRow{
+		Requests:     n,
+		Errors:       errors,
+		P50Millis:    percentile(latencies, 0.50),
+		P99Millis:    percentile(latencies, 0.99),
+		CacheHitRate: float64(hits) / float64(n),
+		PeerFills:    endFills - startFills,
+		Fallbacks:    endFalls - startFalls,
+		FallbackRate: float64(endFalls-startFalls) / float64(n),
+	}
+	return row, nil
+}
+
+// Serve runs the fleet load generator: a healthy phase, then a degraded
+// phase with one peer killed mid-run, and — when jsonPath is non-empty —
+// writes the phase rows there as BENCH_serve.json. Any client-visible
+// error in either phase fails the experiment: graceful degradation is
+// the property under test, not just a report column.
+func (h *Harness) Serve(jsonPath string) (*ServeReport, error) {
+	const (
+		nodes = 3
+		keys  = 64
+		zipfS = 1.2
+	)
+	n, interval := 600, 2*time.Millisecond
+	if h.Quick {
+		n = 150
+	}
+	rep := &ServeReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Cores: runtime.NumCPU(),
+		Nodes: nodes, Keys: keys, ZipfS: zipfS, OpenLoop: interval.String(),
+	}
+
+	fleet, err := newServeFleet(nodes)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, node := range fleet {
+			node.shutdown()
+		}
+	}()
+	front := fleet[0].url
+
+	// The key population: one analyzed program, keys distinct cache
+	// entries via the assume list (sorted symbols, so each body is
+	// already canonical).
+	reqs := make([][]byte, keys)
+	for i := range reqs {
+		raw, err := json.Marshal(map[string]any{
+			"sources": []map[string]string{{"name": "evsl.c", "src": serveSrc}},
+			"level":   "new",
+			"assume":  []string{fmt.Sprintf("servevar%03d", i)},
+		})
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = raw
+	}
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, zipfS, 1, keys-1)
+
+	h.printf("Serve: open-loop fleet loadgen, %d nodes, %d zipf(s=%.1f) keys, 1 req/%v\n",
+		nodes, keys, zipfS, interval)
+	h.printf("%-10s %9s %7s %9s %9s %9s %10s %10s\n",
+		"phase", "requests", "errors", "p50 ms", "p99 ms", "hit rate", "peerfills", "fallbacks")
+
+	for _, phase := range []string{"healthy", "degraded"} {
+		if phase == "degraded" {
+			// Kill one non-front peer: its key range degrades to front-door
+			// local compute until (never, in this run) it returns.
+			fleet[2].hs.Close()
+		}
+		row, err := servePhase(front, reqs, zipf, n, interval)
+		if err != nil {
+			return nil, err
+		}
+		row.Phase = phase
+		rep.Phases = append(rep.Phases, row)
+		h.printf("%-10s %9d %7d %9.2f %9.2f %9.3f %10d %10d\n",
+			phase, row.Requests, row.Errors, row.P50Millis, row.P99Millis,
+			row.CacheHitRate, row.PeerFills, row.Fallbacks)
+		if row.Errors > 0 {
+			return nil, fmt.Errorf("serve: %d client-visible errors in %s phase (graceful degradation violated)", row.Errors, phase)
+		}
+	}
+	h.printf("\n")
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}

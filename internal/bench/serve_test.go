@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestServeExperimentQuick drives the fleet loadgen end-to-end in quick
+// mode: both phases must complete with zero client-visible errors (the
+// degraded phase runs with a killed peer) and sane rates.
+func TestServeExperimentQuick(t *testing.T) {
+	h := New(io.Discard, true)
+	rep, err := h.Serve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(rep.Phases))
+	}
+	for _, ph := range rep.Phases {
+		if ph.Errors != 0 {
+			t.Errorf("phase %s: %d client-visible errors", ph.Phase, ph.Errors)
+		}
+		if ph.CacheHitRate <= 0 || ph.CacheHitRate > 1 {
+			t.Errorf("phase %s: cache hit rate %v out of range", ph.Phase, ph.CacheHitRate)
+		}
+		if ph.P99Millis < ph.P50Millis {
+			t.Errorf("phase %s: p99 %v < p50 %v", ph.Phase, ph.P99Millis, ph.P50Millis)
+		}
+	}
+	if rep.Phases[0].PeerFills == 0 {
+		t.Error("healthy phase never filled from a peer")
+	}
+}

@@ -1,0 +1,197 @@
+package cluster
+
+// Per-peer circuit breaker. The state machine is the classic three-state
+// one:
+//
+//	closed ──(Threshold consecutive failures)──▶ open
+//	open ──(backoff elapses)──▶ half-open  (one probe request allowed)
+//	half-open ──probe success──▶ closed    (backoff resets)
+//	half-open ──probe failure──▶ open      (backoff doubles, capped)
+//
+// The open→half-open wait is jittered exponential backoff: wait =
+// backoff * (0.5 + rand), so a fleet whose peers all saw the same
+// failure does not reopen in lockstep and re-dogpile the recovering
+// peer. Clock and randomness are injectable so tests can walk the state
+// machine deterministically.
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes one peer's breaker. Zero values select defaults.
+type BreakerConfig struct {
+	// Threshold is how many consecutive failures open the breaker
+	// (default 3).
+	Threshold int
+	// BaseBackoff is the first open→half-open wait (default 200ms);
+	// MaxBackoff caps the doubling (default 10s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// now/randFloat are injectable for deterministic tests; defaults are
+	// time.Now and a private rand source.
+	now       func() time.Time
+	randFloat func() float64
+}
+
+func (c *BreakerConfig) applyDefaults() {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 200 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 10 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.randFloat == nil {
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		var mu sync.Mutex
+		c.randFloat = func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return rng.Float64()
+		}
+	}
+}
+
+// BreakerState is the observable state of a breaker.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerHalfOpen
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// Breaker is a three-state circuit breaker, safe for concurrent use.
+type Breaker struct {
+	mu          sync.Mutex
+	cfg         BreakerConfig
+	state       BreakerState
+	consecFails int
+	backoff     time.Duration // next open-period length
+	openUntil   time.Time
+	probing     bool // a half-open probe is in flight
+
+	opens    int64 // closed/half-open → open transitions
+	recloses int64 // half-open → closed transitions
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.applyDefaults()
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a request may be sent through the breaker right
+// now. In the open state it returns false until the jittered backoff has
+// elapsed, then flips to half-open and admits exactly one probe; further
+// calls return false until that probe settles via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default: // open
+		if b.cfg.now().Before(b.openUntil) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a request that went through and succeeded.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.recloses++
+	}
+	b.state = BreakerClosed
+	b.consecFails = 0
+	b.backoff = 0
+	b.probing = false
+}
+
+// Failure records a request that went through and failed.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: reopen with doubled backoff.
+		b.backoff = min(b.backoff*2, b.cfg.MaxBackoff)
+		b.open()
+	case BreakerClosed:
+		b.consecFails++
+		if b.consecFails >= b.cfg.Threshold {
+			b.backoff = b.cfg.BaseBackoff
+			b.open()
+		}
+	}
+}
+
+// open transitions to the open state; callers hold mu and have set
+// backoff.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.probing = false
+	b.consecFails = 0
+	b.opens++
+	jittered := time.Duration(float64(b.backoff) * (0.5 + b.cfg.randFloat()))
+	b.openUntil = b.cfg.now().Add(jittered)
+}
+
+// Reset force-closes the breaker (used when a health probe sees a dead
+// peer come back: the peer gets a clean slate).
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.consecFails = 0
+	b.backoff = 0
+	b.probing = false
+}
+
+// State returns the current state without advancing it (an open breaker
+// whose backoff has elapsed still reports open until an Allow flips it).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Transitions reports how many times the breaker opened and how many
+// half-open probes reclosed it.
+func (b *Breaker) Transitions() (opens, recloses int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.recloses
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock walks the breaker through time deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, base, maxB time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{
+		Threshold:   threshold,
+		BaseBackoff: base,
+		MaxBackoff:  maxB,
+		now:         clk.now,
+		randFloat:   func() float64 { return 0.5 }, // jitter factor exactly 1.0
+	})
+	return b, clk
+}
+
+// TestBreakerOpensAtThreshold: consecutive failures open the breaker;
+// a success in between resets the count.
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second, time.Minute)
+	b.Failure()
+	b.Failure()
+	b.Success() // resets the consecutive count
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 consecutive failures = %v, want closed", b.State())
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before backoff elapsed")
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the backoff, exactly one probe is
+// admitted; its outcome decides close vs re-open with doubled backoff.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second, time.Minute)
+	b.Failure() // threshold 1: opens, backoff 1s (jitter factor pinned to 1.0)
+	if b.Allow() {
+		t.Fatal("allowed during open period")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe not admitted after backoff")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+
+	// Probe fails: reopen with doubled (2s) backoff.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	clk.advance(1100 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("reopened breaker honoured the old backoff, not the doubled one")
+	}
+	clk.advance(1000 * time.Millisecond) // now 2.1s past reopen
+	if !b.Allow() {
+		t.Fatal("probe not admitted after doubled backoff")
+	}
+
+	// Probe succeeds: closed, backoff reset, traffic flows.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	for i := 0; i < 5; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected a request")
+		}
+	}
+	opens, recloses := b.Transitions()
+	if opens != 2 || recloses != 1 {
+		t.Fatalf("transitions = %d opens / %d recloses, want 2/1", opens, recloses)
+	}
+}
+
+// TestBreakerBackoffCap: repeated failed probes double the backoff only
+// up to MaxBackoff.
+func TestBreakerBackoffCap(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second, 4*time.Second)
+	b.Failure() // open, 1s
+	for i := 0; i < 5; i++ {
+		clk.advance(10 * time.Second) // always past any cap
+		if !b.Allow() {
+			t.Fatalf("round %d: probe not admitted", i)
+		}
+		b.Failure() // probe fails, double (capped)
+	}
+	// Backoff is now capped at 4s: 5s later the probe must be admitted.
+	clk.advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("backoff exceeded MaxBackoff")
+	}
+}
+
+// TestBreakerReset force-closes from any state.
+func TestBreakerReset(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Hour, time.Hour)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("setup: not open")
+	}
+	b.Reset()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("Reset did not restore closed/allowing state")
+	}
+}

@@ -1,0 +1,95 @@
+package cluster
+
+// Consistent-hash ring over the static peer set. Each node is projected
+// onto the ring at Replicas pseudo-random points (virtual nodes), and a
+// key is owned by the node whose point is the first at or clockwise of
+// the key's hash. Because every peer builds the ring from the same node
+// names, all peers agree on ownership without any coordination — which
+// is the whole trick: the fleet-wide cache is additive (each node owns a
+// key range) rather than duplicated, and a request can be routed to its
+// owner by any node.
+//
+// The ring is immutable after construction. Node death is NOT handled by
+// ring membership changes (which would re-shuffle ownership and dump the
+// fleet's cache locality); it is handled above the ring by health checks
+// and circuit breakers falling back to local compute — see cluster.go.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// defaultReplicas is the virtual-node count per peer. 128 points keeps
+// the max/mean ownership ratio under ~1.25 for small fleets while the
+// ring stays a few KB.
+const defaultReplicas = 128
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// Ring maps content-addressed keys to node names.
+type Ring struct {
+	nodes  []string
+	points []ringPoint
+}
+
+// NewRing builds the ring from the node names (order-insensitive: the
+// ring is identical for any permutation of names). replicas <= 0 selects
+// the default. Duplicate names are an error — two nodes with the same
+// name would silently share a key range.
+func NewRing(names []string, replicas int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("ring needs at least one node")
+	}
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	nodes := append([]string(nil), names...)
+	sort.Strings(nodes)
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i] == nodes[i-1] {
+			return nil, fmt.Errorf("duplicate node name %q", nodes[i])
+		}
+	}
+	r := &Ring{nodes: nodes, points: make([]ringPoint, 0, len(nodes)*replicas)}
+	for ni, name := range nodes {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(fmt.Sprintf("%s#%d", name, v)), node: ni})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break deterministically so equal hashes (vanishingly rare)
+		// cannot make ownership depend on sort stability.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// pointHash collapses a label to a ring position. SHA-256 rather than a
+// cheaper hash: ring construction is one-time, and the cache keys being
+// routed are themselves SHA-256 hex, so the key side below stays uniform
+// no matter how adversarial the source text is.
+func pointHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the node name owning key.
+func (r *Ring) Owner(key string) string {
+	h := pointHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point to the first
+	}
+	return r.nodes[r.points[i].node]
+}
+
+// Nodes returns the node names in sorted order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministicAcrossPermutations: every peer must compute the
+// same owner for every key whatever order its config listed the fleet
+// in — ownership agreement is what makes fills loop-free.
+func TestRingDeterministicAcrossPermutations(t *testing.T) {
+	a, err := NewRing([]string{"a", "b", "c"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"c", "a", "b"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owners disagree across permutations (%s vs %s)", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingDistribution: with virtual nodes, ownership must be roughly
+// balanced — no node may own more than twice its fair share over a
+// large key sample.
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, 0) // default replicas
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("%064x", i))]++
+	}
+	fair := n / 3
+	for node, got := range counts {
+		if got < fair/2 || got > fair*2 {
+			t.Errorf("node %s owns %d of %d keys (fair share %d): ring badly unbalanced", node, got, n, fair)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d nodes own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRingSingleNodeOwnsEverything: a fleet of one routes all keys
+// locally.
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"solo"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Owner(fmt.Sprintf("k%d", i)); got != "solo" {
+			t.Fatalf("Owner = %q, want solo", got)
+		}
+	}
+}
+
+func TestRingRejectsDuplicatesAndEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Fatal("duplicate node names accepted")
+	}
+}
+
+// TestRingStabilityUnderMembershipGrowth: adding one node must reassign
+// only ~1/N of the keys (the consistent-hashing property that keeps the
+// fleet cache warm across reconfigurations).
+func TestRingStabilityUnderMembershipGrowth(t *testing.T) {
+	before, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"a", "b", "c", "d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("%064x", i)
+		if before.Owner(key) != after.Owner(key) {
+			moved++
+		}
+	}
+	// Ideal is 1/4 (the share of the new node); allow up to 40%.
+	if frac := float64(moved) / n; frac > 0.40 {
+		t.Fatalf("adding one node moved %.0f%% of keys, want ~25%%", frac*100)
+	}
+}

@@ -19,9 +19,23 @@
 // Actions are one-shot by default (Count=1) so an injected panic hits a
 // single function of a batch; Times(n) widens that, Forever() removes
 // the limit.
+//
+// Beyond the pipeline kinds above, the fleet layer (PR 9) registers
+// *named-mode* failpoints with Mode and consumes them with Fire: the
+// call site asks "is a fault armed here, and which one?" and interprets
+// the mode string itself. Sites currently instrumented this way:
+//
+//	server.peerfill → node name  (fill serving: "stall", "drop", "5xx")
+//	store.write     → cache key  ("crash": die mid-write, before rename)
+//	store.read      → cache key  ("corrupt": treat the entry as damaged)
+//
+// List reports every registered failpoint and whether the registry is
+// armed; the daemon surfaces it under /v1/stats so operators (and the
+// chaos suite) can verify what is armed on a live process.
 package faults
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,7 +53,22 @@ const (
 	kindPanic kind = iota
 	kindStall
 	kindExhaust
+	kindMode
 )
+
+func (k kind) String() string {
+	switch k {
+	case kindPanic:
+		return "panic"
+	case kindStall:
+		return "stall"
+	case kindExhaust:
+		return "exhaust-budget"
+	case kindMode:
+		return "mode"
+	}
+	return "unknown"
+}
 
 // Action is a registered fault: what to do when an armed site is hit.
 type Action struct {
@@ -71,6 +100,15 @@ func Stall(maxWait time.Duration) *Action {
 // very next charge aborts with budget.ErrBudget.
 func ExhaustBudget() *Action {
 	a := &Action{kind: kindExhaust}
+	a.left.Store(1)
+	return a
+}
+
+// Mode returns a named-mode action for sites consumed with Fire: the
+// registry only delivers the mode string, and the call site decides what
+// "drop" or "crash" means there.
+func Mode(mode string) *Action {
+	a := &Action{kind: kindMode, msg: mode}
 	a.left.Store(1)
 	return a
 }
@@ -151,4 +189,69 @@ func Inject(site, detail string, b *budget.B) {
 		b.Exhaust()
 		b.Step(1)
 	}
+}
+
+// Fire reports the mode armed at site (via Set with a Mode action) whose
+// detail filter matches, consuming one hit. It returns ("", false) when
+// the registry is disarmed, the site has no Mode action, the detail does
+// not match, or the hit budget is spent — so production call sites pay
+// one atomic load, exactly like Inject.
+func Fire(site, detail string) (string, bool) {
+	if !armed.Load() {
+		return "", false
+	}
+	mu.Lock()
+	a := registry[site]
+	mu.Unlock()
+	if a == nil || a.kind != kindMode || (a.detail != "" && a.detail != detail) {
+		return "", false
+	}
+	if a.left.Add(-1) < 0 {
+		return "", false
+	}
+	a.hits.Add(1)
+	return a.msg, true
+}
+
+// Info describes one registered failpoint for List.
+type Info struct {
+	// Site is the instrumented site the action is attached to.
+	Site string `json:"site"`
+	// Kind is the action kind ("panic", "stall", "exhaust-budget", "mode").
+	Kind string `json:"kind"`
+	// Mode is the mode string for "mode" actions (empty otherwise).
+	Mode string `json:"mode,omitempty"`
+	// Detail is the detail filter, empty when the action matches any hit.
+	Detail string `json:"detail,omitempty"`
+	// Remaining is how many further matching hits will trigger (negative
+	// values are reported as 0).
+	Remaining int64 `json:"remaining"`
+	// Hits is how many times the action has fired.
+	Hits int64 `json:"hits"`
+}
+
+// Armed reports whether any failpoint is currently registered.
+func Armed() bool { return armed.Load() }
+
+// List returns every registered failpoint, sorted by site, so the armed
+// state of a live process is inspectable (surfaced on /v1/stats).
+func List() []Info {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Info, 0, len(registry))
+	for site, a := range registry {
+		info := Info{
+			Site:      site,
+			Kind:      a.kind.String(),
+			Detail:    a.detail,
+			Remaining: max(a.left.Load(), 0),
+			Hits:      a.hits.Load(),
+		}
+		if a.kind == kindMode {
+			info.Mode = a.msg
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
 }

@@ -77,3 +77,62 @@ func TestExhaustBudget(t *testing.T) {
 		t.Fatalf("err = %v, want ErrBudget", err)
 	}
 }
+
+func TestModeFire(t *testing.T) {
+	t.Cleanup(Reset)
+	a := Mode("drop").For("peer-b").Times(2)
+	Set("server.peerfill", a)
+
+	if mode, ok := Fire("server.peerfill", "peer-a"); ok {
+		t.Fatalf("non-matching detail fired mode %q", mode)
+	}
+	for i := 0; i < 2; i++ {
+		mode, ok := Fire("server.peerfill", "peer-b")
+		if !ok || mode != "drop" {
+			t.Fatalf("hit %d: mode=%q ok=%t, want drop/true", i, mode, ok)
+		}
+	}
+	if _, ok := Fire("server.peerfill", "peer-b"); ok {
+		t.Fatal("mode fired past its hit budget")
+	}
+	if a.Hits() != 2 {
+		t.Fatalf("Hits = %d, want 2", a.Hits())
+	}
+	// Inject at the same site must ignore a Mode action (wrong kind).
+	if err := budget.Guard(func() { Inject("server.peerfill", "peer-b", nil) }); err != nil {
+		t.Fatalf("Inject interpreted a mode action: %v", err)
+	}
+}
+
+func TestListReportsArmedState(t *testing.T) {
+	t.Cleanup(Reset)
+	if Armed() || len(List()) != 0 {
+		t.Fatal("fresh registry should be disarmed and empty")
+	}
+	Set("store.write", Mode("crash").For("somekey"))
+	Set("phase1.Run", Stall(time.Second).Times(3))
+	if !Armed() {
+		t.Fatal("registry should be armed")
+	}
+	infos := List()
+	if len(infos) != 2 {
+		t.Fatalf("List returned %d entries, want 2", len(infos))
+	}
+	// Sorted by site: phase1.Run before store.write.
+	if infos[0].Site != "phase1.Run" || infos[0].Kind != "stall" || infos[0].Remaining != 3 {
+		t.Fatalf("infos[0] = %+v", infos[0])
+	}
+	if infos[1].Site != "store.write" || infos[1].Kind != "mode" || infos[1].Mode != "crash" || infos[1].Detail != "somekey" {
+		t.Fatalf("infos[1] = %+v", infos[1])
+	}
+	if _, ok := Fire("store.write", "somekey"); !ok {
+		t.Fatal("armed mode did not fire")
+	}
+	if got := List()[1]; got.Hits != 1 || got.Remaining != 0 {
+		t.Fatalf("after firing: %+v", got)
+	}
+	Reset()
+	if Armed() || len(List()) != 0 {
+		t.Fatal("Reset should disarm and clear")
+	}
+}

@@ -207,9 +207,67 @@ func (ss *stageStats) writeTo(w io.Writer) {
 	}
 }
 
+// codeCounters counts completed analyze requests by HTTP status code, so
+// malformed requests (400) are distinguishable from internal failures
+// (500) on the same scrape — the split the chaos suite asserts on.
+type codeCounters struct {
+	mu sync.Mutex
+	m  map[int]*atomic.Int64
+}
+
+func (c *codeCounters) inc(code int) {
+	if code <= 0 {
+		return // connection aborted before any status was written
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[int]*atomic.Int64{}
+	}
+	ctr := c.m[code]
+	if ctr == nil {
+		ctr = &atomic.Int64{}
+		c.m[code] = ctr
+	}
+	c.mu.Unlock()
+	ctr.Add(1)
+}
+
+// snapshot returns the per-code counts keyed by the code's decimal
+// string (the /v1/stats JSON form).
+func (c *codeCounters) snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for code, ctr := range c.m {
+		out[strconv.Itoa(code)] = ctr.Load()
+	}
+	return out
+}
+
+// writeTo renders the labelled subsubd_requests_total family, codes
+// ascending.
+func (c *codeCounters) writeTo(w io.Writer) {
+	c.mu.Lock()
+	codes := make([]int, 0, len(c.m))
+	for code := range c.m {
+		codes = append(codes, code)
+	}
+	counts := make(map[int]int64, len(c.m))
+	for code, ctr := range c.m {
+		counts[code] = ctr.Load()
+	}
+	c.mu.Unlock()
+	sort.Ints(codes)
+	fmt.Fprintf(w, "# HELP subsubd_requests_total Analyze requests completed, by response code.\n# TYPE subsubd_requests_total counter\n")
+	for _, code := range codes {
+		fmt.Fprintf(w, "subsubd_requests_total{code=%q} %d\n", strconv.Itoa(code), counts[code])
+	}
+}
+
 // metrics aggregates the serving counters that are not owned by the cache.
 type metrics struct {
 	requests  atomic.Int64 // POST /v1/analyze requests received
+	codes     codeCounters // completed requests by HTTP status code
 	analyses  atomic.Int64 // analyses actually executed (post-cache, post-coalescing)
 	coalesced atomic.Int64 // requests served by joining an in-flight analysis
 	shed      atomic.Int64 // requests rejected with 429 by admission control
@@ -219,7 +277,11 @@ type metrics struct {
 	cancellations   atomic.Int64 // analyses aborted by context cancellation/deadline
 	budgetExhausted atomic.Int64 // analyses aborted by the step budget
 	recoveredPanics atomic.Int64 // per-function panics contained into diagnostics
-	latency         histogram
+	// Fleet counters (PR 9): misses served by the owning peer, and peer
+	// failures degraded to local compute.
+	peerFills atomic.Int64 // misses filled from the owning peer
+	fallbacks atomic.Int64 // peer-fill failures degraded to local analysis
+	latency   histogram
 }
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -241,7 +303,7 @@ func writeGauge(w io.Writer, name, help string, v float64) {
 // the symbolic engine's memoization counters.
 func (s *Server) writeMetrics(w io.Writer) {
 	m := &s.met
-	writeCounter(w, "subsubd_requests_total", "Analyze requests received.", m.requests.Load())
+	m.codes.writeTo(w)
 	writeCounter(w, "subsubd_analyses_total", "Analyses executed (cache misses that were not coalesced).", m.analyses.Load())
 	writeCounter(w, "subsubd_coalesced_total", "Requests served by joining an identical in-flight analysis.", m.coalesced.Load())
 	writeCounter(w, "subsubd_shed_total", "Requests rejected with 429 by admission control.", m.shed.Load())
@@ -252,6 +314,55 @@ func (s *Server) writeMetrics(w io.Writer) {
 	writeGauge(w, "subsubd_queue_depth", "Analyses waiting for a worker slot.", float64(s.waiting.Load()))
 	writeGauge(w, "subsubd_inflight", "Analyses currently holding a worker slot.", float64(len(s.sem)))
 	writeGauge(w, "subsubd_workers", "Configured worker-slot capacity.", float64(cap(s.sem)))
+
+	// Fleet counters and per-peer health/breaker series (only when the
+	// daemon is clustered).
+	writeCounter(w, "subsubd_peer_fills_total", "Misses filled from the key's owning peer.", m.peerFills.Load())
+	writeCounter(w, "subsubd_fallbacks_total", "Peer-fill failures degraded to local analysis.", m.fallbacks.Load())
+	if s.cfg.Cluster != nil {
+		cst := s.cfg.Cluster.Stats()
+		if len(cst.Peers) > 0 {
+			fmt.Fprintf(w, "# HELP subsubd_peer_up 1 when the peer's last health probe succeeded.\n# TYPE subsubd_peer_up gauge\n")
+			for _, p := range cst.Peers {
+				up := 0
+				if p.Up {
+					up = 1
+				}
+				fmt.Fprintf(w, "subsubd_peer_up{peer=%q} %d\n", p.Name, up)
+			}
+			fmt.Fprintf(w, "# HELP subsubd_peer_breaker_state Circuit breaker state (0=closed, 1=half-open, 2=open).\n# TYPE subsubd_peer_breaker_state gauge\n")
+			for _, p := range cst.Peers {
+				state := map[string]int{"closed": 0, "half-open": 1, "open": 2}[p.Breaker]
+				fmt.Fprintf(w, "subsubd_peer_breaker_state{peer=%q} %d\n", p.Name, state)
+			}
+			fmt.Fprintf(w, "# HELP subsubd_peer_breaker_opens_total Circuit breaker open transitions.\n# TYPE subsubd_peer_breaker_opens_total counter\n")
+			for _, p := range cst.Peers {
+				fmt.Fprintf(w, "subsubd_peer_breaker_opens_total{peer=%q} %d\n", p.Name, p.Opens)
+			}
+			fmt.Fprintf(w, "# HELP subsubd_peer_fill_failures_total Failed fill attempts per peer.\n# TYPE subsubd_peer_fill_failures_total counter\n")
+			for _, p := range cst.Peers {
+				fmt.Fprintf(w, "subsubd_peer_fill_failures_total{peer=%q} %d\n", p.Name, p.Failures)
+			}
+			fmt.Fprintf(w, "# HELP subsubd_peer_fast_fails_total Fills rejected without I/O (peer down or breaker open).\n# TYPE subsubd_peer_fast_fails_total counter\n")
+			for _, p := range cst.Peers {
+				fmt.Fprintf(w, "subsubd_peer_fast_fails_total{peer=%q} %d\n", p.Name, p.FastFails)
+			}
+		}
+	}
+
+	// Persistent result store (only when -store-dir is set).
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		writeCounter(w, "subsubd_store_hits_total", "Disk result-store hits.", st.Hits)
+		writeCounter(w, "subsubd_store_misses_total", "Disk result-store misses.", st.Misses)
+		writeCounter(w, "subsubd_store_writes_total", "Entries written to the disk store.", st.Writes)
+		writeCounter(w, "subsubd_store_write_errors_total", "Failed disk-store writes.", st.WriteErrors)
+		writeCounter(w, "subsubd_store_evictions_total", "Disk-store LRU evictions.", st.Evictions)
+		writeCounter(w, "subsubd_store_quarantined_total", "Damaged entries quarantined to .bad files.", st.Quarantined)
+		writeCounter(w, "subsubd_store_tmp_cleaned_total", "Interrupted-write temp files removed at open.", st.TmpCleaned)
+		writeGauge(w, "subsubd_store_entries", "Entries currently in the disk store.", float64(st.Entries))
+		writeGauge(w, "subsubd_store_bytes", "Bytes currently in the disk store.", float64(st.Bytes))
+	}
 
 	cs := s.cache.stats()
 	writeCounter(w, "subsubd_cache_hits_total", "Content-addressed result cache hits.", cs.Hits)

@@ -10,12 +10,22 @@
 //     in-flight analysis (see singleflight.go);
 //  3. admission control — a bounded worker pool with a queue-depth limit
 //     that sheds overload with 429 + Retry-After instead of queueing
-//     without bound, plus a per-request deadline.
+//     without bound, plus a per-request deadline;
+//  4. optionally, fleet membership (internal/cluster) — a consistent-hash
+//     ring routes each content-addressed key to its owning peer, a miss
+//     on a non-owner is filled from the owner, and ANY peer failure
+//     (timeout, 5xx, dropped connection, open circuit breaker, dead
+//     peer) degrades to computing locally, so a client never observes a
+//     fleet-internal error;
+//  5. optionally, a crash-safe on-disk result store (internal/store)
+//     under the memory cache, so a restarted daemon serves its working
+//     set warm.
 //
 // GET /metrics exposes the serving counters in Prometheus text format,
 // GET /v1/stats (and POST, to toggle the symbolic memoization layer) is
-// the admin view, and GET /v1/health is the liveness probe. The package
-// is stdlib-only, like the rest of the repository.
+// the admin view — including cluster, store, and armed-failpoint state —
+// and GET /v1/health is the liveness probe. The package is stdlib-only,
+// like the rest of the repository.
 package server
 
 import (
@@ -34,7 +44,10 @@ import (
 	"time"
 
 	"repro/internal/budget"
+	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/store"
 	"repro/internal/symbolic"
 	"repro/internal/trace"
 	"repro/internal/version"
@@ -76,6 +89,19 @@ type Config struct {
 	// deadlines exceeded), each tagged with the request ID so they can be
 	// correlated with trace dumps and client-side logs.
 	Logf func(format string, args ...any)
+
+	// Cluster, when non-nil, shards the key space across a peer fleet:
+	// misses on keys owned by a healthy remote peer are filled from that
+	// peer, and every fill failure degrades to local compute. The caller
+	// owns the cluster's lifecycle (Start/Stop).
+	Cluster *cluster.Cluster
+	// Store, when non-nil, persists results on disk under the memory
+	// cache (read on memory miss, written on every computed or filled
+	// result). The caller owns Open/Close.
+	Store *store.Store
+	// NodeName names this node for the peer-level chaos failpoints
+	// (site "server.peerfill"); usually cluster.Config.Self.
+	NodeName string
 
 	noQueue  bool // set by New when the caller explicitly passed MaxQueue < 0
 	noFlight bool // set by New when the caller explicitly passed FlightRecorderSize < 0
@@ -370,26 +396,22 @@ func (s *Server) admit(ctx context.Context) error {
 
 func (s *Server) release() { <-s.sem }
 
-// runAnalysis is the singleflight leader body: pass admission, run the
-// analysis under the leader's deadline, populate the cache. Passing ctx
-// into the analysis is what keeps worker slots leak-free: a stalled
-// analysis aborts at its next budget checkpoint and releases its slot
-// instead of holding it past the deadline.
-func (s *Server) runAnalysis(ctx context.Context, key, reqID string, req *AnalyzeRequest) ([]byte, error) {
-	if err := s.admit(ctx); err != nil {
-		return nil, err
-	}
-	defer s.release()
-	s.met.analyses.Add(1)
+// runAnalysis is the singleflight leader body: try a peer fill when the
+// key belongs to a remote owner, otherwise (or on ANY fill failure —
+// graceful degradation) pass admission and run the analysis locally
+// under the leader's deadline, populating the cache and the persistent
+// store. Passing ctx into the analysis is what keeps worker slots
+// leak-free: a stalled analysis aborts at its next budget checkpoint
+// and releases its slot instead of holding it past the deadline.
+func (s *Server) runAnalysis(ctx context.Context, key, reqID string, req *AnalyzeRequest, isFill bool) ([]byte, error) {
 	var tr *trace.Recorder
 	if s.flightRec != nil {
 		tr = trace.NewRecorder()
 	}
 	start := time.Now()
-	body, err := s.analyze(ctx, req, tr)
+	body, err := s.produce(ctx, key, reqID, req, isFill, tr)
 	switch {
 	case err == nil:
-		s.cache.put(key, body)
 	case errors.Is(err, budget.ErrCanceled):
 		s.met.cancellations.Add(1)
 	case errors.Is(err, budget.ErrBudget):
@@ -408,10 +430,78 @@ func (s *Server) runAnalysis(ctx context.Context, key, reqID string, req *Analyz
 	return body, err
 }
 
+// produce yields the response bytes for a missed key: peer fill when a
+// remote peer owns it, local analysis otherwise. A fill request
+// (isFill) is always computed locally — the remote side of a fill never
+// re-forwards, which bounds any transient ring disagreement to one hop.
+func (s *Server) produce(ctx context.Context, key, reqID string, req *AnalyzeRequest, isFill bool, tr *trace.Recorder) ([]byte, error) {
+	if s.cfg.Cluster != nil && !isFill {
+		if owner, local := s.cfg.Cluster.Owner(key); !local {
+			if raw, err := json.Marshal(req); err == nil {
+				body, err := s.cfg.Cluster.Fill(ctx, owner, raw, reqID, tr)
+				if err == nil {
+					s.met.peerFills.Add(1)
+					s.cache.put(key, body)
+					s.storePut(key, body)
+					return body, nil
+				}
+				// Graceful degradation: a fleet-internal failure is never a
+				// client error. Fall through to local compute.
+				s.met.fallbacks.Add(1)
+				s.logf("request %s: fill from peer %s failed (%v); computing locally", reqID, owner, err)
+			}
+		}
+	}
+	if err := s.admit(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	s.met.analyses.Add(1)
+	body, err := s.analyze(ctx, req, tr)
+	if err == nil {
+		s.cache.put(key, body)
+		s.storePut(key, body)
+	}
+	return body, err
+}
+
+// storePut persists a response body; store failures are logged, never
+// surfaced (the store is an optimization, not a dependency).
+func (s *Server) storePut(key string, body []byte) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if err := s.cfg.Store.Put(key, body); err != nil {
+		s.logf("store: put %.12s…: %v", key, err)
+	}
+}
+
 type flightOut struct {
 	body   []byte
 	err    error
 	shared bool
+}
+
+// codeCapture records the response status so requests can be counted by
+// code (malformed 4xx vs internal 5xx vs success — the split the chaos
+// suite asserts on).
+type codeCapture struct {
+	http.ResponseWriter
+	code int
+}
+
+func (cw *codeCapture) WriteHeader(code int) {
+	if cw.code == 0 {
+		cw.code = code
+	}
+	cw.ResponseWriter.WriteHeader(code)
+}
+
+func (cw *codeCapture) Write(b []byte) (int, error) {
+	if cw.code == 0 {
+		cw.code = http.StatusOK
+	}
+	return cw.ResponseWriter.Write(b)
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -421,8 +511,38 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.requests.Add(1)
+	cw := &codeCapture{ResponseWriter: w}
+	w = cw
 	start := time.Now()
-	defer func() { s.met.latency.observe(time.Since(start)) }()
+	defer func() {
+		s.met.codes.inc(cw.code)
+		s.met.latency.observe(time.Since(start))
+	}()
+
+	// isFill marks a peer-to-peer cache fill: this node is the key's
+	// owner as far as the sender is concerned, so it must compute locally
+	// and never re-forward.
+	isFill := r.Header.Get(cluster.FillHeader) != ""
+	if isFill {
+		// Peer-level chaos failpoints: misbehave as the serving side of a
+		// fill (stall until the client gives up, drop the connection
+		// mid-request, or answer 500). Disarmed in production this is one
+		// atomic load.
+		if mode, ok := faults.Fire("server.peerfill", s.cfg.NodeName); ok {
+			switch mode {
+			case "stall":
+				select {
+				case <-r.Context().Done():
+				case <-time.After(5 * time.Second):
+				}
+			case "drop":
+				panic(http.ErrAbortHandler)
+			case "5xx":
+				http.Error(w, "fault injected: peer internal error", http.StatusInternalServerError)
+				return
+			}
+		}
+	}
 
 	// Every request gets an ID, echoed in the response, in log lines and
 	// in the trace dump, so a shed or timed-out request can be correlated
@@ -452,6 +572,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeAnalysis(w, cached, "hit")
 		return
 	}
+	// Memory miss: the persistent store replays across restarts (and
+	// quarantines anything damaged rather than serving it).
+	if s.cfg.Store != nil {
+		if stored, ok := s.cfg.Store.Get(key); ok {
+			s.cache.put(key, stored)
+			s.writeAnalysis(w, stored, "disk")
+			return
+		}
+	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
@@ -468,7 +597,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			}
 		}()
 		out, err, shared := s.flight.Do(key, func() ([]byte, error) {
-			return s.runAnalysis(leadCtx, key, reqID, &req)
+			return s.runAnalysis(leadCtx, key, reqID, &req, isFill)
 		})
 		ch <- flightOut{body: out, err: err, shared: shared}
 	}()
@@ -642,24 +771,37 @@ type statsJSON struct {
 		HitRate        float64 `json:"hit_rate"`
 	} `json:"symbolic_cache"`
 	ResultCache cacheStats `json:"result_cache"`
+	// Cluster/Store report fleet membership and persistent-store state
+	// when configured.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
+	Store   *store.Stats   `json:"store,omitempty"`
+	// Faults reports the failpoint registry, so operators and the chaos
+	// suite can verify what is armed on a live process.
+	Faults struct {
+		Armed  bool          `json:"armed"`
+		Points []faults.Info `json:"points"`
+	} `json:"faults"`
 	// Stages is the cumulative per-stage pipeline view across every
 	// traced analysis: span counts, cumulative/self time, and the stage
 	// counters (budget steps, sign proofs, dependence pairs). Empty when
 	// the flight recorder is disabled or nothing has been analyzed.
 	Stages []stageJSON `json:"stages"`
 	Server struct {
-		Requests        int64 `json:"requests"`
-		Analyses        int64 `json:"analyses"`
-		Coalesced       int64 `json:"coalesced"`
-		Shed            int64 `json:"shed"`
-		Timeouts        int64 `json:"timeouts"`
-		Cancellations   int64 `json:"cancellations"`
-		BudgetExhausted int64 `json:"budget_exhausted"`
-		RecoveredPanics int64 `json:"recovered_panics"`
-		QueueDepth      int64 `json:"queue_depth"`
-		Inflight        int   `json:"inflight"`
-		Workers         int   `json:"workers"`
-		Draining        bool  `json:"draining"`
+		Requests        int64            `json:"requests"`
+		RequestsByCode  map[string]int64 `json:"requests_by_code"`
+		Analyses        int64            `json:"analyses"`
+		Coalesced       int64            `json:"coalesced"`
+		Shed            int64            `json:"shed"`
+		Timeouts        int64            `json:"timeouts"`
+		Cancellations   int64            `json:"cancellations"`
+		BudgetExhausted int64            `json:"budget_exhausted"`
+		RecoveredPanics int64            `json:"recovered_panics"`
+		PeerFills       int64            `json:"peer_fills"`
+		Fallbacks       int64            `json:"fallbacks"`
+		QueueDepth      int64            `json:"queue_depth"`
+		Inflight        int              `json:"inflight"`
+		Workers         int              `json:"workers"`
+		Draining        bool             `json:"draining"`
 	} `json:"server"`
 }
 
@@ -733,8 +875,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st.SymbolicCache.Entries = sc.Entries
 	st.SymbolicCache.HitRate = sc.HitRate()
 	st.ResultCache = s.cache.stats()
+	if s.cfg.Cluster != nil {
+		cs := s.cfg.Cluster.Stats()
+		st.Cluster = &cs
+	}
+	if s.cfg.Store != nil {
+		ss := s.cfg.Store.Stats()
+		st.Store = &ss
+	}
+	st.Faults.Armed = faults.Armed()
+	st.Faults.Points = faults.List()
 	st.Stages = stagesJSON(s.stages.snapshot())
 	st.Server.Requests = s.met.requests.Load()
+	st.Server.RequestsByCode = s.met.codes.snapshot()
+	st.Server.PeerFills = s.met.peerFills.Load()
+	st.Server.Fallbacks = s.met.fallbacks.Load()
 	st.Server.Analyses = s.met.analyses.Load()
 	st.Server.Coalesced = s.met.coalesced.Load()
 	st.Server.Shed = s.met.shed.Load()

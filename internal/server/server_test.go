@@ -141,7 +141,7 @@ func TestAnalyzeEndToEnd(t *testing.T) {
 		"subsubd_cache_hits_total 1",
 		"subsubd_cache_misses_total 1",
 		"subsubd_analyses_total 1",
-		"subsubd_requests_total 2",
+		`subsubd_requests_total{code="200"} 2`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)

@@ -1,0 +1,381 @@
+// Package store is a crash-safe on-disk content-addressed result store:
+// the persistent tier under the daemon's in-memory result cache, so a
+// restarted daemon serves its working set warm instead of recomputing
+// it. The analysis is a pure function of the key, so entries have no
+// TTL and no invalidation — only capacity (LRU eviction by total bytes)
+// and integrity.
+//
+// Integrity is the whole design. Every entry is a single file named
+// <key>.res with the layout
+//
+//	offset 0   magic "SSRS1\x00"               (6 bytes)
+//	offset 6   body length, big-endian uint64  (8 bytes)
+//	offset 14  SHA-256 of the body             (32 bytes)
+//	offset 46  body                            (length bytes)
+//
+// and is written crash-safely: the bytes go to a <key>.tmp file first,
+// which is fsynced, closed, and atomically renamed over the final name,
+// after which the directory is fsynced. A crash at any point therefore
+// leaves either the complete old state or the complete new state —
+// never a partially visible entry; leftover .tmp files are deleted on
+// Open. A read that finds a damaged entry (bad magic, short file, wrong
+// length, checksum mismatch) quarantines the file by renaming it to
+// <key>.bad and reports a miss, so corruption is recomputed, never
+// served, and the evidence survives for inspection.
+//
+// Failpoints (internal/faults, chaos suite): site "store.write" mode
+// "crash" abandons a write after the partial temp file — simulating the
+// process dying mid-write — and site "store.read" mode "corrupt" makes
+// the next read treat the entry as damaged.
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faults"
+)
+
+const (
+	magic      = "SSRS1\x00"
+	headerSize = len(magic) + 8 + sha256.Size
+	entryExt   = ".res"
+	tmpExt     = ".tmp"
+	badExt     = ".bad"
+)
+
+// Store is the on-disk cache. All methods are safe for concurrent use.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	index map[string]*list.Element
+	bytes int64
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	writes      atomic.Int64
+	evictions   atomic.Int64
+	quarantined atomic.Int64
+	writeErrors atomic.Int64
+	tmpCleaned  atomic.Int64
+}
+
+type indexEntry struct {
+	key  string
+	size int64 // file size including header
+}
+
+// Open scans dir (creating it if needed), removes leftover temp files
+// from interrupted writes, rebuilds the LRU index ordered by file
+// modification time, and evicts oldest-first until the byte bound
+// holds. maxBytes <= 0 selects 256 MiB.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes, ll: list.New(), index: map[string]*list.Element{}}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type scanned struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var found []scanned
+	for _, de := range entries {
+		name := de.Name()
+		switch {
+		case filepath.Ext(name) == tmpExt:
+			// An interrupted write: the rename never happened, so the
+			// entry was never visible. Discard the partial bytes.
+			if os.Remove(filepath.Join(dir, name)) == nil {
+				s.tmpCleaned.Add(1)
+			}
+		case filepath.Ext(name) == entryExt:
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			key := name[:len(name)-len(entryExt)]
+			if !validKey(key) {
+				continue
+			}
+			found = append(found, scanned{key: key, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		}
+	}
+	// Oldest first, so the list front ends up the most recently used.
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime < found[j].mtime })
+	for _, f := range found {
+		s.index[f.key] = s.ll.PushFront(&indexEntry{key: f.key, size: f.size})
+		s.bytes += f.size
+	}
+	s.evictLocked()
+	return s, nil
+}
+
+// validKey accepts keys that are safe as file names. The server's keys
+// are SHA-256 hex, so this is belt-and-braces against path traversal.
+func validKey(key string) bool {
+	if key == "" || len(key) > 128 {
+		return false
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key, ext string) string { return filepath.Join(s.dir, key+ext) }
+
+// Get returns the stored body for key. A damaged entry is quarantined
+// to <key>.bad and reported as a miss.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.mu.Lock()
+	el, ok := s.index[key]
+	if !ok {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	s.mu.Unlock()
+
+	raw, err := os.ReadFile(s.path(key, entryExt))
+	if err != nil {
+		// The file vanished under us (eviction race, external deletion):
+		// drop the index entry and miss.
+		s.dropIndexEntry(key)
+		s.misses.Add(1)
+		return nil, false
+	}
+	body, derr := decode(raw)
+	if mode, ok := faults.Fire("store.read", key); ok && mode == "corrupt" {
+		derr = errors.New("fault injected: entry corrupt")
+	}
+	if derr != nil {
+		s.quarantine(key)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return body, true
+}
+
+// decode validates one entry file and returns its body.
+func decode(raw []byte) ([]byte, error) {
+	if len(raw) < headerSize {
+		return nil, fmt.Errorf("entry truncated: %d bytes", len(raw))
+	}
+	if string(raw[:len(magic)]) != magic {
+		return nil, errors.New("bad magic")
+	}
+	n := binary.BigEndian.Uint64(raw[len(magic):])
+	body := raw[headerSize:]
+	if uint64(len(body)) != n {
+		return nil, fmt.Errorf("length mismatch: header %d, body %d", n, len(body))
+	}
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], raw[len(magic)+8:headerSize]) {
+		return nil, errors.New("checksum mismatch")
+	}
+	return body, nil
+}
+
+// quarantine renames a damaged entry to <key>.bad and forgets it.
+func (s *Store) quarantine(key string) {
+	os.Rename(s.path(key, entryExt), s.path(key, badExt))
+	s.dropIndexEntry(key)
+	s.quarantined.Add(1)
+}
+
+func (s *Store) dropIndexEntry(key string) {
+	s.mu.Lock()
+	if el, ok := s.index[key]; ok {
+		s.bytes -= el.Value.(*indexEntry).size
+		s.ll.Remove(el)
+		delete(s.index, key)
+	}
+	s.mu.Unlock()
+}
+
+// Put stores body under key crash-safely. Re-putting an existing key
+// only refreshes its recency (the analysis is deterministic, so the
+// bytes are identical). Bodies larger than the store bound are skipped.
+func (s *Store) Put(key string, body []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	size := int64(headerSize + len(body))
+	if size > s.maxBytes {
+		return nil
+	}
+	s.mu.Lock()
+	if el, ok := s.index[key]; ok {
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	if err := s.writeEntry(key, body); err != nil {
+		s.writeErrors.Add(1)
+		return err
+	}
+	s.writes.Add(1)
+	s.mu.Lock()
+	if _, ok := s.index[key]; !ok {
+		s.index[key] = s.ll.PushFront(&indexEntry{key: key, size: size})
+		s.bytes += size
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// writeEntry performs the temp → fsync → rename → fsync-dir dance.
+func (s *Store) writeEntry(key string, body []byte) error {
+	buf := make([]byte, headerSize, headerSize+len(body))
+	copy(buf, magic)
+	binary.BigEndian.PutUint64(buf[len(magic):], uint64(len(body)))
+	sum := sha256.Sum256(body)
+	copy(buf[len(magic)+8:], sum[:])
+	buf = append(buf, body...)
+
+	// Unique temp name per writer: two concurrent Puts of one key (rare,
+	// but possible when a key is recomputed after eviction) each write
+	// their own file and the atomic renames leave whichever finished
+	// last — identical bytes either way, never an interleaving.
+	f, err := os.CreateTemp(s.dir, key+"-*"+tmpExt)
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if mode, ok := faults.Fire("store.write", key); ok && mode == "crash" {
+		// Simulated crash mid-write: some bytes reach the temp file, then
+		// the "process dies" — no rename, no cleanup. The entry must never
+		// become visible; Open removes the orphan.
+		f.Write(buf[:len(buf)/2])
+		f.Close()
+		return errors.New("fault injected: crash mid-write")
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.path(key, entryExt)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return s.syncDir()
+}
+
+// syncDir fsyncs the store directory so the rename itself is durable.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// evictLocked removes least-recently-used entries until the byte bound
+// holds. Callers hold mu.
+func (s *Store) evictLocked() {
+	for s.bytes > s.maxBytes {
+		tail := s.ll.Back()
+		if tail == nil {
+			return
+		}
+		ent := tail.Value.(*indexEntry)
+		s.ll.Remove(tail)
+		delete(s.index, ent.key)
+		s.bytes -= ent.size
+		os.Remove(s.path(ent.key, entryExt))
+		s.evictions.Add(1)
+	}
+}
+
+// Len reports the number of visible entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats is a snapshot of the store's counters for /v1/stats and
+// /metrics.
+type Stats struct {
+	Dir         string `json:"dir"`
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	MaxBytes    int64  `json:"max_bytes"`
+	Hits        int64  `json:"hits"`
+	Misses      int64  `json:"misses"`
+	Writes      int64  `json:"writes"`
+	WriteErrors int64  `json:"write_errors"`
+	Evictions   int64  `json:"evictions"`
+	Quarantined int64  `json:"quarantined"`
+	TmpCleaned  int64  `json:"tmp_cleaned"`
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	entries, bytes := len(s.index), s.bytes
+	s.mu.Unlock()
+	return Stats{
+		Dir:         s.dir,
+		Entries:     entries,
+		Bytes:       bytes,
+		MaxBytes:    s.maxBytes,
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Writes:      s.writes.Load(),
+		WriteErrors: s.writeErrors.Load(),
+		Evictions:   s.evictions.Load(),
+		Quarantined: s.quarantined.Load(),
+		TmpCleaned:  s.tmpCleaned.Load(),
+	}
+}
+
+// Close releases the store. Writes are already durable at Put return;
+// Close exists so callers have a clear lifecycle hook and is a final
+// directory sync.
+func (s *Store) Close() error { return s.syncDir() }

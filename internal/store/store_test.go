@@ -1,0 +1,245 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func mustOpen(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRoundTripAcrossRestart: a stored entry survives Close/Open and
+// replays byte-identically.
+func TestRoundTripAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 1<<20)
+	body := []byte(`{"results":[{"name":"x"}]}`)
+	if err := s.Put("aaaa1111", body); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("aaaa1111"); !ok || !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, %t", got, ok)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, 1<<20)
+	got, ok := s2.Get("aaaa1111")
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("after restart: Get = %q, %t", got, ok)
+	}
+	if st := s2.Stats(); st.Entries != 1 || st.Hits != 1 {
+		t.Fatalf("stats after restart: %+v", st)
+	}
+}
+
+// TestCrashMidWriteLeavesNoPartialEntry: the crash failpoint abandons a
+// half-written temp file; the entry must be invisible both immediately
+// and after a restart, and the orphaned temp file must be cleaned up.
+func TestCrashMidWriteLeavesNoPartialEntry(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 1<<20)
+
+	faults.Set("store.write", faults.Mode("crash").For("deadbeef"))
+	if err := s.Put("deadbeef", []byte("partial body")); err == nil {
+		t.Fatal("crashed write reported success")
+	}
+	if _, ok := s.Get("deadbeef"); ok {
+		t.Fatal("partial entry visible after crashed write")
+	}
+	// The half-written temp file exists (the simulated process died
+	// before cleanup)...
+	tmps, err := filepath.Glob(filepath.Join(dir, "deadbeef-*.tmp"))
+	if err != nil || len(tmps) != 1 {
+		t.Fatalf("crash simulation left %d temp files (%v)", len(tmps), err)
+	}
+
+	// ...and a restart removes it without surfacing an entry.
+	s2 := mustOpen(t, dir, 1<<20)
+	if _, ok := s2.Get("deadbeef"); ok {
+		t.Fatal("partial entry visible after restart")
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "deadbeef-*.tmp")); len(tmps) != 0 {
+		t.Fatalf("restart did not clean the temp file: %v", tmps)
+	}
+	if st := s2.Stats(); st.TmpCleaned != 1 {
+		t.Fatalf("tmp_cleaned = %d, want 1", st.TmpCleaned)
+	}
+
+	// The same key can be written cleanly afterwards.
+	if err := s2.Put("deadbeef", []byte("good body")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get("deadbeef"); !ok || string(got) != "good body" {
+		t.Fatalf("clean rewrite: %q, %t", got, ok)
+	}
+}
+
+// TestCorruptEntryQuarantined: flipping bytes on disk must never be
+// served — the read quarantines the file to <key>.bad and misses.
+func TestCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 1<<20)
+	if err := s.Put("cafe0123", []byte("precious result bytes")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one body byte on disk.
+	path := filepath.Join(dir, "cafe0123.res")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get("cafe0123"); ok {
+		t.Fatal("corrupted entry was served")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cafe0123.bad")); err != nil {
+		t.Fatalf("corrupted entry not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupted entry still visible under its entry name")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+	// Recompute-and-restore works.
+	if err := s.Put("cafe0123", []byte("precious result bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("cafe0123"); !ok || string(got) != "precious result bytes" {
+		t.Fatalf("restore: %q, %t", got, ok)
+	}
+}
+
+// TestCorruptFailpoint: the chaos suite's corrupt-store-entry failpoint
+// forces the quarantine path without touching the disk bytes.
+func TestCorruptFailpoint(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 1<<20)
+	if err := s.Put("beef4567", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	faults.Set("store.read", faults.Mode("corrupt").For("beef4567"))
+	if _, ok := s.Get("beef4567"); ok {
+		t.Fatal("injected-corrupt entry was served")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "beef4567.bad")); err != nil {
+		t.Fatalf("injected corruption not quarantined: %v", err)
+	}
+}
+
+// TestTruncatedAndBadMagicEntries: every malformed-header shape misses
+// and quarantines instead of panicking or serving garbage.
+func TestTruncatedAndBadMagicEntries(t *testing.T) {
+	dir := t.TempDir()
+	for name, raw := range map[string][]byte{
+		"e1": []byte("x"),                           // shorter than the header
+		"e2": append(make([]byte, headerSize), 'x'), // zero magic
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name+".res"), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := mustOpen(t, dir, 1<<20)
+	for _, key := range []string{"e1", "e2"} {
+		if _, ok := s.Get(key); ok {
+			t.Fatalf("malformed entry %s was served", key)
+		}
+	}
+	if st := s.Stats(); st.Quarantined != 2 {
+		t.Fatalf("quarantined = %d, want 2", st.Quarantined)
+	}
+}
+
+// TestEvictionLRU: the byte bound evicts least-recently-used entries
+// and their files.
+func TestEvictionLRU(t *testing.T) {
+	dir := t.TempDir()
+	body := bytes.Repeat([]byte("v"), 100)
+	entrySize := int64(headerSize + len(body))
+	s := mustOpen(t, dir, 3*entrySize)
+
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("key%d", i), body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key0 so key1 is the LRU, then overflow.
+	if _, ok := s.Get("key0"); !ok {
+		t.Fatal("key0 missing")
+	}
+	if err := s.Put("key3", body); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("key1"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "key1.res")); !os.IsNotExist(err) {
+		t.Fatal("evicted entry's file still on disk")
+	}
+	for _, key := range []string{"key0", "key2", "key3"} {
+		if _, ok := s.Get(key); !ok {
+			t.Fatalf("entry %s should have survived", key)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRejectsHostileKeys: keys that are not filesystem-safe are refused
+// outright (the server only passes SHA-256 hex).
+func TestRejectsHostileKeys(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 1<<20)
+	for _, key := range []string{"", "../escape", "a/b", "a.b", strings.Repeat("x", 200)} {
+		if err := s.Put(key, []byte("v")); err == nil {
+			t.Errorf("Put accepted hostile key %q", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get served hostile key %q", key)
+		}
+	}
+}
+
+// TestConcurrentAccess hammers Put/Get from many goroutines (run under
+// -race by make chaos-e2e).
+func TestConcurrentAccess(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 1<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				s.Put(key, []byte(fmt.Sprintf("body-%d", i%10)))
+				s.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.WriteErrors != 0 {
+		t.Fatalf("write errors under concurrency: %+v", st)
+	}
+}
