@@ -28,12 +28,17 @@
 #   make chaos-e2e — the fleet chaos gate: consistent-hash ring, circuit
 #                  breaker, crash-safe store, and the 3-node kill/revive
 #                  chaos suite, all under the race detector
+#   make incr-differential — the incremental-analysis gate: edit-script
+#                  byte-identity vs cold runs (serial and 8-worker),
+#                  callee-hash invalidation, the unit store and session
+#                  table, and the /v1/session + delta_of HTTP suites,
+#                  all under the race detector
 #   make fuzz    — short fuzz session over the parser and simplifier
 #   make bench   — batch-driver, cache, and interpreter benchmarks
 
 GO ?= go
 
-.PHONY: build fmt vet test race check fuzz fuzz-smoke fault-e2e chaos-e2e bench benchsmoke serve-smoke trace-smoke property-soundness codegen-differential experiments
+.PHONY: build fmt vet test race check fuzz fuzz-smoke fault-e2e chaos-e2e bench benchsmoke serve-smoke trace-smoke property-soundness codegen-differential incr-differential experiments
 
 build:
 	$(GO) build ./...
@@ -127,7 +132,17 @@ chaos-e2e:
 		./internal/cluster/ ./internal/server/
 	$(GO) test -race ./internal/store/
 
-check: fmt vet build test race benchsmoke vm-differential codegen-differential serve-smoke trace-smoke fuzz-smoke property-soundness fault-e2e chaos-e2e
+# Incremental-analysis gate: replaying the edit script (rename / add
+# loop / delete function / reorder) through a shared unit store must be
+# byte-identical to cold runs serially and with 8 workers; editing a
+# callee must invalidate its transitive callers; the session table and
+# /v1/session + delta_of endpoints must hold their bounds — all under
+# the race detector.
+incr-differential:
+	$(GO) test -race -run 'TestIncr|TestSession|TestDelta' \
+		./internal/incr/ ./internal/core/ ./internal/server/
+
+check: fmt vet build test race benchsmoke vm-differential codegen-differential serve-smoke trace-smoke fuzz-smoke property-soundness fault-e2e chaos-e2e incr-differential
 
 fuzz:
 	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime 20s ./internal/cminus/

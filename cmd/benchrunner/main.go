@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrunner [-experiment table1|fig13|fig14|fig15|fig16|fig17|ablation|compiletime|runtime|serve|all] [-quick]
+//	benchrunner [-experiment table1|fig13|fig14|fig15|fig16|fig17|ablation|compiletime|runtime|serve|incr|all] [-quick]
 //
 // The runtime experiment measures the real execution engines (tree
 // oracle vs compiled) over the corpus workloads and writes the rows to
@@ -12,7 +12,10 @@
 // drives an open-loop Zipf-skewed load against an in-process 3-node
 // subsubd fleet — healthy, then with one peer killed — and writes
 // latency percentiles, cache hit rate, and fallback rate to
-// -serve-json (default BENCH_serve.json).
+// -serve-json (default BENCH_serve.json). The incr experiment measures
+// cold vs warm re-analysis latency with the function-granular unit
+// store (1 edited function of N) and writes the reuse speedup to
+// -incr-json (default BENCH_incr.json).
 package main
 
 import (
@@ -24,12 +27,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "table1, fig13, fig14, fig15, fig16, fig17, ablation, compiletime, runtime, serve or all")
+	exp := flag.String("experiment", "all", "table1, fig13, fig14, fig15, fig16, fig17, ablation, compiletime, runtime, serve, incr or all")
 	quick := flag.Bool("quick", false, "use scaled-down datasets")
 	validate := flag.Bool("validate", true, "run the 2-worker real-execution soundness check")
 	workers := flag.Int("workers", 0, "worker pool for the compile-time batch experiment (0 = all cores)")
 	runtimeJSON := flag.String("runtime-json", "BENCH_runtime.json", "output path for the runtime experiment's JSON rows (empty = don't write)")
 	serveJSON := flag.String("serve-json", "BENCH_serve.json", "output path for the serve experiment's JSON rows (empty = don't write)")
+	incrJSON := flag.String("incr-json", "BENCH_incr.json", "output path for the incr experiment's JSON rows (empty = don't write)")
 	flag.Parse()
 
 	h := bench.New(os.Stdout, *quick)
@@ -74,13 +78,18 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchrunner: serve experiment: %v\n", err)
 				os.Exit(1)
 			}
+		case "incr":
+			if _, err := h.Incr(*incrJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: incr experiment: %v\n", err)
+				os.Exit(1)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "compile", "runtime", "serve"} {
+		for _, name := range []string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "compile", "runtime", "serve", "incr"} {
 			run(name)
 		}
 		return

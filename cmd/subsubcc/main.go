@@ -22,6 +22,12 @@
 // abstract work steps; a file that exceeds either limit fails with a
 // typed error in its own slot, reported like any other per-file failure.
 //
+// -incr-stats runs the batch over a function-granular incremental unit
+// store (internal/incr) and prints a per-function analysis/plan
+// hit-miss table to stderr after the run, so reuse across the batch
+// (identical functions appearing in several files) is observable from
+// the CLI. The analysis output is byte-identical with or without it.
+//
 // -trace records the whole batch under the pipeline trace recorder and
 // writes Chrome trace-event JSON to the given file — load it in
 // chrome://tracing or Perfetto to see parse/phase1/phase2/depend spans
@@ -63,6 +69,7 @@ import (
 	"repro/internal/cminus"
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/incr"
 	"repro/internal/interp"
 	"repro/internal/trace"
 	"repro/internal/version"
@@ -111,6 +118,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON profile of the analysis pipeline to this file")
 	engine := flag.String("engine", "", "interpreter smoke: compile each analyzed file for this engine ("+strings.Join(interp.Engines(), ", ")+") and run its zero-argument functions; empty skips")
 	emitDir := flag.String("emit", "", "transpile each analyzed file to a runnable parallel Go main package under this directory (refused if any file has analysis errors)")
+	incrStats := flag.Bool("incr-stats", false, "run the batch over a function-granular unit store and print per-function hit/miss counts to stderr (duplicate functions across files reuse each other's analyses)")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: subsubcc [flags] file.c [file2.c ...]\n")
@@ -148,6 +156,11 @@ func main() {
 	opt.Budget = *budgetSteps
 	if *tracePath != "" {
 		opt.Trace = trace.NewRecorder()
+	}
+	var units *incr.Store
+	if *incrStats {
+		units = incr.NewStore(0)
+		opt.Incremental = units
 	}
 
 	// Read every file; a read failure claims its result slot without
@@ -195,6 +208,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "subsubcc: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if units != nil {
+		fmt.Fprint(os.Stderr, units.StatsTable())
 	}
 
 	if *jsonOut {

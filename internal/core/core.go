@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/cminus"
+	"repro/internal/incr"
 	"repro/internal/inline"
 	"repro/internal/interp"
 	"repro/internal/parallelize"
@@ -81,6 +82,16 @@ type Options struct {
 	// (0 for top level) — AnalyzeBatch sets it to a per-source span.
 	Trace       *trace.Recorder
 	TraceParent trace.SpanID
+	// Incremental, when non-nil, enables function-granular reuse: the
+	// (post-inline) program is split into content-addressed per-function
+	// units and clean units replay their Pass-1 analyses and Pass-2 nest
+	// plans from the store instead of recomputing. The result is
+	// byte-identical to a cold run (the invariant tests pin this) —
+	// modulo budget accounting: a warm run charges fewer steps, so a
+	// budget tight enough to abort a cold run may pass warm. Budget and
+	// cancellation errors are never cached, matching the caching
+	// convention above.
+	Incremental *incr.Store
 }
 
 // Result is a completed analysis of one program.
@@ -143,6 +154,20 @@ func AnalyzeProgram(prog *cminus.Program, opt Options) (*Result, error) {
 		for _, sym := range opt.AssumePositive {
 			dict.Set(sym, symbolic.One, nil)
 		}
+		// Unit keys are computed on the post-inline program: inlining
+		// splices callee bodies (with program-global "_inl<n>" label
+		// suffixes) into callers, and the keys must address what the
+		// analysis actually sees.
+		var reuse *parallelize.Reuse
+		if opt.Incremental != nil {
+			ksp := tr.Start(asp, "unitkeys")
+			reuse = &parallelize.Reuse{
+				Keys: incr.UnitKeys(prog,
+					incr.OptionsDigest(opt.Level, opt.AssumePositive, opt.Inline, opt.Ablate)),
+				Cache: opt.Incremental,
+			}
+			tr.End(ksp)
+		}
 		plan = parallelize.Run(prog, opt.Level, &parallelize.Options{
 			Assume:      dict,
 			Ablate:      opt.Ablate,
@@ -150,6 +175,7 @@ func AnalyzeProgram(prog *cminus.Program, opt Options) (*Result, error) {
 			Budget:      b,
 			Trace:       tr,
 			TraceParent: asp,
+			Reuse:       reuse,
 		})
 	})
 	if tr.Enabled() {
@@ -220,6 +246,10 @@ func AnalyzeBatch(sources []Source, opt Options) []*BatchResult {
 			}
 			if o.Budget == 0 {
 				o.Budget = opt.Budget
+			}
+			// The unit store is process-level, shared by every source.
+			if o.Incremental == nil {
+				o.Incremental = opt.Incremental
 			}
 		}
 		// Tracing is batch-level: each source's pipeline nests under its

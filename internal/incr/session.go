@@ -1,0 +1,215 @@
+package incr
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Session-table defaults when the corresponding limit is passed as 0.
+const (
+	DefaultMaxSessions = 256
+	DefaultSessionTTL  = 10 * time.Minute
+)
+
+// ErrNoSession is returned for unknown, closed or expired session IDs.
+var ErrNoSession = errors.New("incr: no such session")
+
+// Session is one long-lived editing session: an opaque ID plus the
+// caller-owned state blob (the server stores its normalized request
+// there). State is copied in and out by value semantics at the API
+// boundary — the table never interprets it.
+type Session struct {
+	ID       string
+	State    any
+	Created  time.Time
+	LastUsed time.Time
+	// Analyses counts analyze calls made through the session.
+	Analyses int64
+}
+
+// Sessions is a bounded, TTL-evicting session table. Eviction is lazy
+// (checked on every access) plus LRU-forced at the bound, so the table
+// needs no background goroutine — important because the server's
+// constructor is goroutine-free and drain ordering stays trivial.
+type Sessions struct {
+	mu      sync.Mutex
+	max     int
+	ttl     time.Duration
+	ll      *list.List // front = most recently used
+	m       map[string]*list.Element
+	now     func() time.Time // injectable for TTL tests
+	created int64
+	evicted int64
+	expired int64
+}
+
+// NewSessions returns a session table bounded to max sessions with the
+// given idle TTL. Zero values select the defaults.
+func NewSessions(max int, ttl time.Duration) *Sessions {
+	if max <= 0 {
+		max = DefaultMaxSessions
+	}
+	if ttl <= 0 {
+		ttl = DefaultSessionTTL
+	}
+	return &Sessions{
+		max: max,
+		ttl: ttl,
+		ll:  list.New(),
+		m:   map[string]*list.Element{},
+		now: time.Now,
+	}
+}
+
+// SetClock replaces the time source (tests only).
+func (t *Sessions) SetClock(now func() time.Time) {
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+// newID returns a 128-bit random hex session ID.
+func newID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sweep drops every expired session. Caller holds t.mu.
+func (t *Sessions) sweep(now time.Time) {
+	for el := t.ll.Back(); el != nil; {
+		prev := el.Prev()
+		s := el.Value.(*Session)
+		if now.Sub(s.LastUsed) > t.ttl {
+			t.ll.Remove(el)
+			delete(t.m, s.ID)
+			t.expired++
+		}
+		el = prev
+	}
+}
+
+// Create registers a new session holding state and returns it. When the
+// table is full after expiry sweeping, the least recently used session
+// is evicted to make room — interactive sessions must never be refused
+// outright, only forgotten when abandoned longest.
+func (t *Sessions) Create(state any) *Session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	t.sweep(now)
+	for len(t.m) >= t.max {
+		tail := t.ll.Back()
+		if tail == nil {
+			break
+		}
+		s := tail.Value.(*Session)
+		t.ll.Remove(tail)
+		delete(t.m, s.ID)
+		t.evicted++
+	}
+	s := &Session{ID: newID(), State: state, Created: now, LastUsed: now}
+	t.m[s.ID] = t.ll.PushFront(s)
+	t.created++
+	return s
+}
+
+// Get returns a snapshot of the session and refreshes its recency and
+// TTL. The returned struct is a copy; mutate via Update.
+func (t *Sessions) Get(id string) (Session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	t.sweep(now)
+	el, ok := t.m[id]
+	if !ok {
+		return Session{}, ErrNoSession
+	}
+	s := el.Value.(*Session)
+	s.LastUsed = now
+	t.ll.MoveToFront(el)
+	return *s, nil
+}
+
+// Update applies fn to the live session under the table lock (fn must
+// not block) and refreshes recency and TTL.
+func (t *Sessions) Update(id string, fn func(*Session)) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	t.sweep(now)
+	el, ok := t.m[id]
+	if !ok {
+		return ErrNoSession
+	}
+	s := el.Value.(*Session)
+	fn(s)
+	s.LastUsed = now
+	t.ll.MoveToFront(el)
+	return nil
+}
+
+// Close removes a session. Closing an unknown or expired ID is an
+// error so clients learn their session is gone.
+func (t *Sessions) Close(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweep(t.now())
+	el, ok := t.m[id]
+	if !ok {
+		return ErrNoSession
+	}
+	t.ll.Remove(el)
+	delete(t.m, id)
+	return nil
+}
+
+// CloseAll drops every session (used at daemon shutdown) and returns
+// how many were open.
+func (t *Sessions) CloseAll() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.m)
+	t.ll.Init()
+	t.m = map[string]*list.Element{}
+	return n
+}
+
+// Len returns the number of live sessions after sweeping expiry.
+func (t *Sessions) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweep(t.now())
+	return len(t.m)
+}
+
+// SessionStats is a snapshot of the session-table counters.
+type SessionStats struct {
+	Open        int   `json:"open"`
+	MaxSessions int   `json:"max_sessions"`
+	TTLSeconds  int64 `json:"ttl_seconds"`
+	Created     int64 `json:"created"`
+	Evicted     int64 `json:"evicted"`
+	Expired     int64 `json:"expired"`
+}
+
+// Stats returns a snapshot of the table counters after sweeping expiry.
+func (t *Sessions) Stats() SessionStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweep(t.now())
+	return SessionStats{
+		Open:        len(t.m),
+		MaxSessions: t.max,
+		TTLSeconds:  int64(t.ttl / time.Second),
+		Created:     t.created,
+		Evicted:     t.evicted,
+		Expired:     t.expired,
+	}
+}

@@ -115,6 +115,9 @@ type Plan struct {
 	// Diagnostics lists contained analysis crashes, sorted by function,
 	// stage and loop. Empty on a clean run.
 	Diagnostics []Diagnostic
+	// Incr counts this run's unit-cache hits and misses (zero when
+	// Options.Reuse was not set).
+	Incr IncrStats
 	// source is the original program the plan was built from.
 	source *cminus.Program
 }
@@ -159,6 +162,11 @@ type Options struct {
 	// the span the phases nest under (0 for top level).
 	Trace       *trace.Recorder
 	TraceParent trace.SpanID
+	// Reuse, when set, replays content-addressed per-function units
+	// (Pass-1 analyses, Pass-2 plans) from a shared cache instead of
+	// recomputing them. The merge steps below run identically either
+	// way, so a run with reuse is byte-identical to one without.
+	Reuse *Reuse
 }
 
 // Run parallelizes a program at the given analysis level.
@@ -201,8 +209,33 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 	tr := opts.Trace
 	results := make([]*phase2.FuncAnalysis, len(funcs))
 	jobErrs := make([]error, len(funcs))
+
+	// Incremental reuse, analysis tier: replay clean functions' Pass-1
+	// results before fanning out, so the pool only sees dirty ones. A
+	// cached analysis is shared across runs and read-only from here on.
+	reuse := opts.Reuse
+	cachedFA := make([]bool, len(funcs))
+	if reuse.enabled() {
+		for i, fn := range funcs {
+			key := reuse.Keys[fn.Name]
+			if key == "" {
+				continue
+			}
+			if fa, ok := reuse.Cache.GetAnalysis(key, fn.Name); ok {
+				results[i] = fa
+				cachedFA[i] = true
+				plan.Incr.FuncHits++
+			} else {
+				plan.Incr.FuncMisses++
+			}
+		}
+	}
+
 	pass1 := tr.Start(opts.TraceParent, "pass1")
 	sched.ForTraced(len(funcs), sched.Options{Workers: workers}, tr, pass1, func(i int, wsp trace.SpanID) {
+		if cachedFA[i] {
+			return
+		}
 		jobErrs[i] = budget.Guard(func() {
 			sp := tr.StartFunc(wsp, "function", funcs[i].Name)
 			defer tr.End(sp)
@@ -228,6 +261,20 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 	}
 	if fatal != nil {
 		panic(budget.Abort{Err: fatal})
+	}
+
+	// Store freshly computed Pass-1 units. Crashed units (results[i] ==
+	// nil) are never cached: their recompute is deterministic and caching
+	// failures would complicate the byte-identity argument for nothing.
+	if reuse.enabled() {
+		for i, fn := range funcs {
+			if cachedFA[i] || results[i] == nil {
+				continue
+			}
+			if key := reuse.Keys[fn.Name]; key != "" {
+				reuse.Cache.PutAnalysis(key, fn.Name, results[i])
+			}
+		}
 	}
 
 	// Merge the per-function property databases in sorted function-name
@@ -265,13 +312,38 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 		fa   *phase2.FuncAnalysis
 		loop *cminus.ForStmt
 	}
+
+	// Incremental reuse, plan tier: Pass 2 reads the merged property
+	// database (other functions contribute facts), so its key layers a
+	// digest of that database over the function's unit key. On a hit the
+	// function's whole plan set replays and none of its nests are
+	// scheduled.
+	var propsDig string
+	planKeys := map[string]string{}
+	if reuse.enabled() {
+		propsDig = PropsDigest(plan.Props)
+	}
+
 	var jobs []nestJob
 	for _, fn := range funcs {
 		fa := analyses[fn.Name]
-		plan.Funcs[fn.Name] = &FuncPlan{Name: fn.Name, Analysis: fa, Loops: map[string]*LoopPlan{}}
+		fp := &FuncPlan{Name: fn.Name, Analysis: fa, Loops: map[string]*LoopPlan{}}
+		plan.Funcs[fn.Name] = fp
 		if fa == nil {
 			// No analysis: the function keeps its original body, serial.
 			continue
+		}
+		if reuse.enabled() {
+			if key := reuse.Keys[fn.Name]; key != "" {
+				pk := PlanKey(key, propsDig)
+				if plans, ok := reuse.Cache.GetPlans(pk, fn.Name); ok {
+					installPlans(fp, plans)
+					plan.Incr.PlanHits++
+					continue
+				}
+				plan.Incr.PlanMisses++
+				planKeys[fn.Name] = pk
+			}
 		}
 		for _, top := range topLoops(fa.Func.Body) {
 			jobs = append(jobs, nestJob{fa: fa, loop: top})
@@ -296,6 +368,7 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 		})
 	})
 	tr.End(pass2)
+	planCrashed := map[string]bool{}
 	for i, err := range planErrs {
 		if err == nil {
 			continue
@@ -304,6 +377,7 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 			plan.Diagnostics = append(plan.Diagnostics, Diagnostic{
 				Func: jobs[i].fa.Func.Name, Stage: "plan", Loop: jobs[i].loop.Label, Err: pe})
 			planned[i] = nil // the nest stays serial
+			planCrashed[jobs[i].fa.Func.Name] = true
 			continue
 		}
 		fatal = err
@@ -316,6 +390,15 @@ func Run(prog *cminus.Program, level phase2.Level, opts *Options) *Plan {
 		for lbl, lp := range planned[i] {
 			fp.Loops[lbl] = lp
 		}
+	}
+	// Store freshly planned Pass-2 units; functions with a contained
+	// plan-stage crash are never cached (same rationale as Pass 1).
+	for _, fn := range funcs {
+		pk := planKeys[fn.Name]
+		if pk == "" || planCrashed[fn.Name] {
+			continue
+		}
+		reuse.Cache.PutPlans(pk, fn.Name, flattenPlans(plan.Funcs[fn.Name].Loops))
 	}
 	for _, fn := range funcs {
 		fp := plan.Funcs[fn.Name]

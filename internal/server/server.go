@@ -47,6 +47,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/incr"
 	"repro/internal/store"
 	"repro/internal/symbolic"
 	"repro/internal/trace"
@@ -90,6 +91,23 @@ type Config struct {
 	// correlated with trace dumps and client-side logs.
 	Logf func(format string, args ...any)
 
+	// IncrEntries bounds the function-granular incremental unit store
+	// (Pass-1 analyses and Pass-2 nest plans, content-addressed per
+	// function — see internal/incr). 0 selects the default
+	// (incr.DefaultEntries); pass a negative value to disable
+	// incremental reuse entirely.
+	IncrEntries int
+	// MaxSessions / SessionTTL bound the /v1/session table: at most
+	// MaxSessions live sessions (LRU-evicted beyond that) and each
+	// session expires after SessionTTL idle. Zero values select the
+	// incr defaults.
+	MaxSessions int
+	SessionTTL  time.Duration
+	// RecentRequests bounds the request-ID → normalized-request table
+	// behind /v1/analyze's delta mode (default 1024; negative disables
+	// delta requests).
+	RecentRequests int
+
 	// Cluster, when non-nil, shards the key space across a peer fleet:
 	// misses on keys owned by a healthy remote peer are filled from that
 	// peer, and every fill failure degrades to local compute. The caller
@@ -105,6 +123,8 @@ type Config struct {
 
 	noQueue  bool // set by New when the caller explicitly passed MaxQueue < 0
 	noFlight bool // set by New when the caller explicitly passed FlightRecorderSize < 0
+	noIncr   bool // set by New when the caller explicitly passed IncrEntries < 0
+	noDelta  bool // set by New when the caller explicitly passed RecentRequests < 0
 }
 
 func (c *Config) applyDefaults() {
@@ -138,6 +158,15 @@ func (c *Config) applyDefaults() {
 	if c.FlightRecorderSize < 0 {
 		c.FlightRecorderSize = 0
 	}
+	if c.IncrEntries < 0 {
+		c.IncrEntries = 0
+	}
+	if c.RecentRequests == 0 && !c.noDelta {
+		c.RecentRequests = 1024
+	}
+	if c.RecentRequests < 0 {
+		c.RecentRequests = 0
+	}
 }
 
 // Server is the analysis service. It implements http.Handler.
@@ -170,6 +199,14 @@ type Server struct {
 	bootID string
 	reqSeq atomic.Int64
 
+	// incr is the process-level function-granular unit store threaded
+	// into every analysis (nil when disabled); sessions is the
+	// /v1/session table; recent backs /v1/analyze's delta mode (nil
+	// when disabled).
+	incr     *incr.Store
+	sessions *incr.Sessions
+	recent   *recentTable
+
 	// analyze produces the encoded response for a normalized request. The
 	// context carries the analysis deadline; honouring it is what frees the
 	// worker slot when an analysis stalls. The recorder is non-nil exactly
@@ -190,11 +227,24 @@ func New(cfg Config) *Server {
 	if cfg.FlightRecorderSize < 0 {
 		cfg.noFlight = true
 	}
+	if cfg.IncrEntries < 0 {
+		cfg.noIncr = true
+	}
+	if cfg.RecentRequests < 0 {
+		cfg.noDelta = true
+	}
 	cfg.applyDefaults()
 	s := &Server{
 		cfg:   cfg,
 		cache: newResultCache(cfg.CacheEntries, cfg.CacheBytes),
 		sem:   make(chan struct{}, cfg.Workers),
+	}
+	if !cfg.noIncr {
+		s.incr = incr.NewStore(cfg.IncrEntries)
+	}
+	s.sessions = incr.NewSessions(cfg.MaxSessions, cfg.SessionTTL)
+	if cfg.RecentRequests > 0 {
+		s.recent = newRecentTable(cfg.RecentRequests)
 	}
 	var boot [4]byte
 	rand.Read(boot[:])
@@ -211,6 +261,12 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	mux.HandleFunc("POST /v1/session/{id}/patch", s.handleSessionPatch)
+	mux.HandleFunc("POST /v1/session/{id}/analyze", s.handleSessionAnalyze)
+	mux.HandleFunc("POST /v1/session/{id}/close", s.handleSessionClose)
+	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionClose)
+	mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
 	s.mux = mux
 	return s
 }
@@ -252,6 +308,16 @@ type AnalyzeRequest struct {
 	Inline bool `json:"inline,omitempty"`
 	// Annotate includes the OpenMP-annotated source in each result.
 	Annotate bool `json:"annotate,omitempty"`
+	// DeltaOf makes this a delta request: supply only the edited
+	// sources and name a recent request ID (the X-Request-Id echoed on
+	// a prior response) to inherit that request's level, assumptions,
+	// inline and annotate settings. The request is then served like any
+	// other — the function-granular unit store is what makes the
+	// re-analysis cheap. Unknown or expired IDs fail with 404; a delta
+	// request that sets its own options fails with 400. DeltaOf never
+	// enters the cache key (cacheKey enumerates its fields), so a delta
+	// request and the equivalent full request share a content address.
+	DeltaOf string `json:"delta_of,omitempty"`
 }
 
 // normalize canonicalizes the request in place so that requests meaning
@@ -354,6 +420,7 @@ func (s *Server) defaultAnalyze(ctx context.Context, req *AnalyzeRequest, tr *tr
 		Ctx:            ctx,
 		Budget:         s.cfg.MaxSteps,
 		Trace:          tr,
+		Incremental:    s.incr,
 	}
 	results := core.AnalyzeBatch(sources, opt)
 	for _, br := range results {
@@ -563,10 +630,69 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request JSON: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	if req.DeltaOf != "" {
+		if !s.resolveDelta(w, &req) {
+			return
+		}
+	}
 	if err := req.normalize(); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.rememberRequest(reqID, &req)
+	s.serveAnalyze(w, r, &req, reqID, isFill, start)
+}
+
+// resolveDelta rewrites a delta request in place: the named prior
+// request contributes every option, the delta contributes only sources.
+// It writes the error response and returns false when the delta cannot
+// be resolved.
+func (s *Server) resolveDelta(w http.ResponseWriter, req *AnalyzeRequest) bool {
+	s.met.deltaRequests.Add(1)
+	if s.recent == nil {
+		http.Error(w, "delta_of: delta requests are disabled (RecentRequests < 0)", http.StatusNotFound)
+		return false
+	}
+	if req.Level != "" || len(req.Assume) > 0 || req.Inline || req.Annotate {
+		http.Error(w, "delta_of: a delta request supplies only sources; level/assume/inline/annotate are inherited from the prior request", http.StatusBadRequest)
+		return false
+	}
+	if req.Source == "" && len(req.Sources) == 0 {
+		http.Error(w, "delta_of: no sources: set \"source\" or \"sources\"", http.StatusBadRequest)
+		return false
+	}
+	prior, ok := s.recent.get(req.DeltaOf)
+	if !ok {
+		s.met.deltaMisses.Add(1)
+		http.Error(w, "delta_of: unknown or expired request ID", http.StatusNotFound)
+		return false
+	}
+	req.Level = prior.Level
+	req.Assume = append([]string(nil), prior.Assume...)
+	req.Inline = prior.Inline
+	req.Annotate = prior.Annotate
+	req.DeltaOf = ""
+	return true
+}
+
+// rememberRequest records a normalized request under its ID so later
+// delta requests can inherit its options.
+func (s *Server) rememberRequest(reqID string, req *AnalyzeRequest) {
+	if s.recent == nil {
+		return
+	}
+	cp := *req
+	cp.Sources = append([]SourceJSON(nil), req.Sources...)
+	cp.Assume = append([]string(nil), req.Assume...)
+	s.recent.put(reqID, &cp)
+}
+
+// serveAnalyze is the shared serving path for a normalized request —
+// /v1/analyze, its delta mode, and /v1/session analyze all flow through
+// here, so the content-addressed cache, the persistent store, request
+// coalescing, admission control and the detached-leader deadline apply
+// identically to every entry point.
+func (s *Server) serveAnalyze(w http.ResponseWriter, r *http.Request, req *AnalyzeRequest, reqID string, isFill bool, start time.Time) {
 	key := req.cacheKey()
 	if cached, ok := s.cache.get(key); ok {
 		s.writeAnalysis(w, cached, "hit")
@@ -597,7 +723,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			}
 		}()
 		out, err, shared := s.flight.Do(key, func() ([]byte, error) {
-			return s.runAnalysis(leadCtx, key, reqID, &req, isFill)
+			return s.runAnalysis(leadCtx, key, reqID, req, isFill)
 		})
 		ch <- flightOut{body: out, err: err, shared: shared}
 	}()
@@ -775,6 +901,10 @@ type statsJSON struct {
 	// when configured.
 	Cluster *cluster.Stats `json:"cluster,omitempty"`
 	Store   *store.Stats   `json:"store,omitempty"`
+	// Incr reports the function-granular unit store (nil when disabled);
+	// Sessions reports the /v1/session table.
+	Incr     *incr.Stats        `json:"incr,omitempty"`
+	Sessions *incr.SessionStats `json:"sessions,omitempty"`
 	// Faults reports the failpoint registry, so operators and the chaos
 	// suite can verify what is armed on a live process.
 	Faults struct {
@@ -798,6 +928,8 @@ type statsJSON struct {
 		RecoveredPanics int64            `json:"recovered_panics"`
 		PeerFills       int64            `json:"peer_fills"`
 		Fallbacks       int64            `json:"fallbacks"`
+		DeltaRequests   int64            `json:"delta_requests"`
+		DeltaMisses     int64            `json:"delta_misses"`
 		QueueDepth      int64            `json:"queue_depth"`
 		Inflight        int              `json:"inflight"`
 		Workers         int              `json:"workers"`
@@ -883,6 +1015,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ss := s.cfg.Store.Stats()
 		st.Store = &ss
 	}
+	if s.incr != nil {
+		ist := s.incr.Stats()
+		st.Incr = &ist
+	}
+	sst := s.sessions.Stats()
+	st.Sessions = &sst
 	st.Faults.Armed = faults.Armed()
 	st.Faults.Points = faults.List()
 	st.Stages = stagesJSON(s.stages.snapshot())
@@ -890,6 +1028,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st.Server.RequestsByCode = s.met.codes.snapshot()
 	st.Server.PeerFills = s.met.peerFills.Load()
 	st.Server.Fallbacks = s.met.fallbacks.Load()
+	st.Server.DeltaRequests = s.met.deltaRequests.Load()
+	st.Server.DeltaMisses = s.met.deltaMisses.Load()
 	st.Server.Analyses = s.met.analyses.Load()
 	st.Server.Coalesced = s.met.coalesced.Load()
 	st.Server.Shed = s.met.shed.Load()

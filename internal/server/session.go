@@ -1,0 +1,317 @@
+package server
+
+// The /v1/session API: long-lived editing sessions for interactive
+// clients (editor/LSP integrations that re-analyze per keystroke). A
+// session stores a normalized analyze request server-side; the client
+// patches only what changed (usually one source) and re-analyzes. The
+// analyze step flows through the same serving path as /v1/analyze —
+// content-addressed cache, singleflight, admission control, deadlines —
+// so sessions inherit every robustness property, and the
+// function-granular unit store (internal/incr) is what makes the
+// re-analysis touch only dirty functions.
+//
+// Routes:
+//
+//	POST   /v1/session              create (503 while draining)
+//	GET    /v1/session/{id}         inspect
+//	POST   /v1/session/{id}/patch   merge changed fields into the state
+//	POST   /v1/session/{id}/analyze run the session's request
+//	POST   /v1/session/{id}/close   close
+//	DELETE /v1/session/{id}         close
+//
+// The table is bounded (LRU-evicted at MaxSessions) and TTL-evicting,
+// so abandoned sessions cost nothing: memory stays bounded no matter
+// how many clients come and go.
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/incr"
+)
+
+// recentTable is a bounded LRU of request ID → normalized request,
+// backing /v1/analyze's delta_of mode.
+type recentTable struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+type recentEntry struct {
+	id  string
+	req *AnalyzeRequest
+}
+
+func newRecentTable(max int) *recentTable {
+	return &recentTable{max: max, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+func (t *recentTable) put(id string, req *AnalyzeRequest) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.m[id]; ok {
+		el.Value.(*recentEntry).req = req
+		t.ll.MoveToFront(el)
+		return
+	}
+	t.m[id] = t.ll.PushFront(&recentEntry{id: id, req: req})
+	for len(t.m) > t.max {
+		tail := t.ll.Back()
+		if tail == nil {
+			break
+		}
+		ent := tail.Value.(*recentEntry)
+		t.ll.Remove(tail)
+		delete(t.m, ent.id)
+	}
+}
+
+func (t *recentTable) get(id string) (*AnalyzeRequest, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.m[id]
+	if !ok {
+		return nil, false
+	}
+	t.ll.MoveToFront(el)
+	return el.Value.(*recentEntry).req, true
+}
+
+// CloseSessions drops every live session (daemon shutdown, after the
+// HTTP listener has drained) and returns how many were open.
+func (s *Server) CloseSessions() int { return s.sessions.CloseAll() }
+
+// sessionPatch is the body of POST /v1/session/{id}/patch. Pointer
+// fields distinguish "leave unchanged" (absent) from "set to the zero
+// value" (present), which plain AnalyzeRequest booleans cannot.
+type sessionPatch struct {
+	Source   *string       `json:"source"`
+	Name     *string       `json:"name"`
+	Sources  *[]SourceJSON `json:"sources"`
+	Level    *string       `json:"level"`
+	Assume   *[]string     `json:"assume"`
+	Inline   *bool         `json:"inline"`
+	Annotate *bool         `json:"annotate"`
+}
+
+// sessionJSON is the wire form of one session.
+type sessionJSON struct {
+	Session  string          `json:"session"`
+	Created  time.Time       `json:"created,omitempty"`
+	LastUsed time.Time       `json:"last_used,omitempty"`
+	Analyses int64           `json:"analyses"`
+	State    *AnalyzeRequest `json:"state"`
+}
+
+// sessionState reads the request stored in a session.
+func sessionState(sn incr.Session) *AnalyzeRequest {
+	if req, ok := sn.State.(*AnalyzeRequest); ok {
+		return req
+	}
+	return &AnalyzeRequest{}
+}
+
+// copyRequest deep-copies the slices so session state is never aliased
+// by an in-flight analysis.
+func copyRequest(req *AnalyzeRequest) *AnalyzeRequest {
+	cp := *req
+	cp.Sources = append([]SourceJSON(nil), req.Sources...)
+	cp.Assume = append([]string(nil), req.Assume...)
+	return &cp
+}
+
+// validateState canonicalizes a session state in place. States without
+// sources are allowed (the client patches sources in later), but
+// whatever is set must already be valid, so errors surface at
+// create/patch time rather than at analyze time.
+func validateState(req *AnalyzeRequest) error {
+	if req.DeltaOf != "" {
+		return errors.New("delta_of is not valid in session state")
+	}
+	if req.Source != "" || len(req.Sources) > 0 {
+		return req.normalize()
+	}
+	if req.Level != "" {
+		if _, err := core.ParseLevel(req.Level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) writeSession(w http.ResponseWriter, code int, sn incr.Session) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(sessionJSON{
+		Session:  sn.ID,
+		Created:  sn.Created,
+		LastUsed: sn.LastUsed,
+		Analyses: sn.Analyses,
+		State:    sessionState(sn),
+	})
+}
+
+// readSessionBody decodes a bounded JSON body into dst; an empty body
+// is allowed and leaves dst zero.
+func (s *Server) readSessionBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, "request body unreadable or over the size limit", http.StatusRequestEntityTooLarge)
+		return false
+	}
+	if len(body) == 0 {
+		return true
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		http.Error(w, "bad request JSON: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// handleSessionCreate opens a session. The body is an optional initial
+// AnalyzeRequest state. Creation is refused while draining — a session
+// is a promise of future work, and a draining daemon must not accept
+// any.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining: not accepting new sessions", http.StatusServiceUnavailable)
+		return
+	}
+	var state AnalyzeRequest
+	if !s.readSessionBody(w, r, &state) {
+		return
+	}
+	if err := validateState(&state); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sn := s.sessions.Create(&state)
+	s.logf("session %s created", sn.ID)
+	s.writeSession(w, http.StatusCreated, *sn)
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sn, err := s.sessions.Get(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "unknown, closed or expired session", http.StatusNotFound)
+		return
+	}
+	s.writeSession(w, http.StatusOK, sn)
+}
+
+// handleSessionPatch merges the patch into the session state. Only the
+// fields present in the body change; the result must still validate,
+// and on any error the state is left untouched.
+func (s *Server) handleSessionPatch(w http.ResponseWriter, r *http.Request) {
+	var p sessionPatch
+	if !s.readSessionBody(w, r, &p) {
+		return
+	}
+	id := r.PathValue("id")
+	sn, err := s.sessions.Get(id)
+	if err != nil {
+		http.Error(w, "unknown, closed or expired session", http.StatusNotFound)
+		return
+	}
+	next := copyRequest(sessionState(sn))
+	if p.Sources != nil {
+		next.Sources = append([]SourceJSON(nil), (*p.Sources)...)
+	}
+	if p.Source != nil {
+		next.Source = *p.Source
+		if p.Sources == nil {
+			// A "source" patch replaces the source set. Without this,
+			// normalize would prepend the new text to the previously
+			// normalized sources and the session would grow a phantom file.
+			next.Sources = nil
+		}
+	}
+	if p.Name != nil {
+		next.Name = *p.Name
+	}
+	if p.Level != nil {
+		next.Level = *p.Level
+	}
+	if p.Assume != nil {
+		next.Assume = append([]string(nil), (*p.Assume)...)
+	}
+	if p.Inline != nil {
+		next.Inline = *p.Inline
+	}
+	if p.Annotate != nil {
+		next.Annotate = *p.Annotate
+	}
+	if err := validateState(next); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var updated incr.Session
+	if err := s.sessions.Update(id, func(live *incr.Session) {
+		live.State = next
+		updated = *live
+	}); err != nil {
+		http.Error(w, "unknown, closed or expired session", http.StatusNotFound)
+		return
+	}
+	s.writeSession(w, http.StatusOK, updated)
+}
+
+// handleSessionAnalyze runs the session's current request through the
+// shared serving path, so the response bytes are identical to POSTing
+// the same state to /v1/analyze (and both populate the same caches).
+func (s *Server) handleSessionAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Add(1)
+	cw := &codeCapture{ResponseWriter: w}
+	w = cw
+	start := time.Now()
+	defer func() {
+		s.met.codes.inc(cw.code)
+		s.met.latency.observe(time.Since(start))
+	}()
+
+	id := r.PathValue("id")
+	var req *AnalyzeRequest
+	if err := s.sessions.Update(id, func(live *incr.Session) {
+		live.Analyses++
+		req = copyRequest(sessionState(*live))
+	}); err != nil {
+		http.Error(w, "unknown, closed or expired session", http.StatusNotFound)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		http.Error(w, "session has no analyzable state: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	reqID := r.Header.Get("X-Request-Id")
+	if reqID == "" {
+		reqID = s.nextRequestID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	w.Header().Set("X-Subsubd-Session", id)
+	s.rememberRequest(reqID, req)
+	s.serveAnalyze(w, r, req, reqID, false, start)
+}
+
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.sessions.Close(id); err != nil {
+		http.Error(w, "unknown, closed or expired session", http.StatusNotFound)
+		return
+	}
+	s.logf("session %s closed", id)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"session\":%q,\"closed\":true}\n", id)
+}
